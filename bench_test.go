@@ -1,0 +1,269 @@
+package xmlclust
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (Sect. 5), plus the DESIGN.md ablations. Each
+// benchmark runs the corresponding experiment driver and prints the same
+// rows/series the paper reports, so that
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the full evaluation. Sizes come from the "quick" profile by
+// default; set XMLCLUST_SCALE=paper for the paper-geometry profile (much
+// slower). See EXPERIMENTS.md for the paper-vs-measured comparison.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"xmlclust/internal/dataset"
+	"xmlclust/internal/experiments"
+)
+
+func benchScale() experiments.Scale {
+	if os.Getenv("XMLCLUST_SCALE") == "paper" {
+		return experiments.PaperScale()
+	}
+	return experiments.QuickScale()
+}
+
+var printOnce sync.Map
+
+// printBench writes an experiment's output a single time per process even
+// when the benchmark framework re-runs the function.
+func printBench(key string, write func()) {
+	if _, dup := printOnce.LoadOrStore(key, true); !dup {
+		write()
+	}
+}
+
+// ---------------------------------------------------------------- Fig. 7
+
+func benchFig7(b *testing.B, ds string) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(ds, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("fig7-"+ds, func() { res.Write(os.Stdout) })
+		last := res.Full.Points[len(res.Full.Points)-1]
+		first := res.Full.Points[0]
+		b.ReportMetric(float64(first.SimTime.Microseconds()), "simμs/m=1")
+		b.ReportMetric(float64(last.SimTime.Microseconds()), "simμs/m=max")
+		b.ReportMetric(float64(res.Full.SaturationM(0.15)), "saturation-m")
+	}
+}
+
+// BenchmarkFig7DBLP regenerates Fig. 7(a): clustering time vs nodes, DBLP.
+func BenchmarkFig7DBLP(b *testing.B) { benchFig7(b, "DBLP") }
+
+// BenchmarkFig7IEEE regenerates Fig. 7(b): clustering time vs nodes, IEEE.
+func BenchmarkFig7IEEE(b *testing.B) { benchFig7(b, "IEEE") }
+
+// BenchmarkFig7Shakespeare regenerates Fig. 7(c).
+func BenchmarkFig7Shakespeare(b *testing.B) { benchFig7(b, "Shakespeare") }
+
+// BenchmarkFig7Wikipedia regenerates Fig. 7(d).
+func BenchmarkFig7Wikipedia(b *testing.B) { benchFig7(b, "Wikipedia") }
+
+// ---------------------------------------------------------------- Tables 1–2
+
+func benchTable(b *testing.B, setting experiments.Setting, unequal bool, key string) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AccuracyTable(setting, unequal, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench(key, func() {
+			res.Write(os.Stdout)
+			loss := res.CentralizedLoss(scale.TableMs[len(scale.TableMs)-1])
+			for ds, l := range loss {
+				printBenchRowLoss(ds, l)
+			}
+		})
+		// Average F at m=1 and max m across datasets as summary metrics.
+		var f1, fm float64
+		var n1, nm int
+		maxM := scale.TableMs[len(scale.TableMs)-1]
+		for _, r := range res.Rows {
+			if r.M == 1 {
+				f1 += r.F
+				n1++
+			}
+			if r.M == maxM {
+				fm += r.F
+				nm++
+			}
+		}
+		if n1 > 0 {
+			b.ReportMetric(f1/float64(n1), "F/m=1")
+		}
+		if nm > 0 {
+			b.ReportMetric(fm/float64(nm), "F/m=max")
+		}
+	}
+}
+
+func printBenchRowLoss(ds string, loss float64) {
+	fmt.Printf("loss vs centralized at max m — %s: %+.3f\n", ds, loss)
+}
+
+// BenchmarkTable1a regenerates Table 1(a): content-driven, equal split.
+func BenchmarkTable1a(b *testing.B) {
+	benchTable(b, experiments.ContentDriven, false, "t1a")
+}
+
+// BenchmarkTable1b regenerates Table 1(b): structure/content-driven, equal split.
+func BenchmarkTable1b(b *testing.B) {
+	benchTable(b, experiments.HybridDriven, false, "t1b")
+}
+
+// BenchmarkTable1c regenerates Table 1(c): structure-driven, equal split.
+func BenchmarkTable1c(b *testing.B) {
+	benchTable(b, experiments.StructureDriven, false, "t1c")
+}
+
+// BenchmarkTable2a regenerates Table 2(a): content-driven, unequal split.
+func BenchmarkTable2a(b *testing.B) {
+	benchTable(b, experiments.ContentDriven, true, "t2a")
+}
+
+// BenchmarkTable2b regenerates Table 2(b): structure/content-driven, unequal split.
+func BenchmarkTable2b(b *testing.B) {
+	benchTable(b, experiments.HybridDriven, true, "t2b")
+}
+
+// BenchmarkTable2c regenerates Table 2(c): structure-driven, unequal split.
+func BenchmarkTable2c(b *testing.B) {
+	benchTable(b, experiments.StructureDriven, true, "t2c")
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+func benchFig8(b *testing.B, ds string) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(ds, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("fig8-"+ds, func() { res.Write(os.Stdout) })
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(float64(last.CXKTime.Microseconds()), "cxk-simμs/m=max")
+		b.ReportMetric(float64(last.PKTime.Microseconds()), "pk-simμs/m=max")
+		b.ReportMetric(res.AccuracyMargin(), "F-margin")
+	}
+}
+
+// BenchmarkFig8DBLP regenerates Fig. 8(a): CXK vs PK runtime on DBLP,
+// plus the Sect. 5.5.3 accuracy-margin comparison.
+func BenchmarkFig8DBLP(b *testing.B) { benchFig8(b, "DBLP") }
+
+// BenchmarkFig8IEEE regenerates Fig. 8(b): CXK vs PK runtime on IEEE.
+func BenchmarkFig8IEEE(b *testing.B) { benchFig8(b, "IEEE") }
+
+// ---------------------------------------------------------------- Ablations
+
+// BenchmarkAblationGamma reproduces the γ tuning protocol of Sect. 5.1 on
+// DBLP (hybrid setting, centralized).
+func BenchmarkAblationGamma(b *testing.B) {
+	scale := benchScale()
+	gammas := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.GammaSweep("DBLP", dataset.ByHybrid, 0.5, gammas, scale, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("abl-gamma", func() { experiments.WriteGammaSweep(os.Stdout, "DBLP", pts) })
+		best := 0.0
+		for _, p := range pts {
+			if p.F > best {
+				best = p.F
+			}
+		}
+		b.ReportMetric(best, "best-F")
+	}
+}
+
+// BenchmarkAblationGenerateReturn compares the three readings of Fig. 6's
+// GenerateTreeTuple return value (DESIGN.md interpretation choices).
+func BenchmarkAblationGenerateReturn(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.ReturnRuleAblation("DBLP", dataset.ByHybrid, scale, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("abl-rule", func() { experiments.WriteRuleAblation(os.Stdout, "DBLP", pts) })
+		b.ReportMetric(pts[0].F, "F-best-objective")
+		b.ReportMetric(pts[2].F, "F-fig6-literal")
+	}
+}
+
+// BenchmarkAblationPathCache measures the Sect. 4.3.2 tag-path pair cache.
+func BenchmarkAblationPathCache(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.PathCacheAblation("DBLP", scale, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("abl-cache", func() { experiments.WriteCacheAblation(os.Stdout, "DBLP", pts) })
+		b.ReportMetric(float64(pts[0].Compute.Microseconds()), "compute-cached-μs")
+		b.ReportMetric(float64(pts[1].Compute.Microseconds()), "compute-uncached-μs")
+	}
+}
+
+// ---------------------------------------------------------------- End-to-end
+
+// BenchmarkPipelineDBLP measures the full public-API pipeline (parse is
+// skipped: generation is direct) on the DBLP-like corpus, centralized.
+func BenchmarkPipelineDBLP(b *testing.B) {
+	gen, _ := dataset.ByName("DBLP")
+	col := gen(dataset.Spec{Docs: 64, Seed: 1})
+	labels, k := col.Labels(dataset.ByHybrid)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corpus := BuildCorpus(col.Trees, CorpusOptions{Labels: labels, MaxTuplesPerTree: 32})
+		res, err := Cluster(corpus, ClusterOptions{K: k, F: 0.5, Gamma: 0.8, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = Evaluate(Labels(corpus), res.Assign, k)
+	}
+}
+
+// BenchmarkCostModel validates the Sect. 4.3.4 analytical cost model
+// against the measured runtime curve on DBLP and prints the predicted
+// optimal network size m*.
+func BenchmarkCostModel(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.CostModel("DBLP", scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("costmodel", func() { res.Write(os.Stdout) })
+		b.ReportMetric(res.OptimalM, "predicted-m*")
+	}
+}
+
+// BenchmarkAblationSemantics evaluates the Sect. 6 semantic-enrichment
+// extension on a two-dialect DBLP corpus: exact Δ vs lexical tag matching
+// vs dictionary+lexical chain.
+func BenchmarkAblationSemantics(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.SemanticsAblation(scale, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("abl-semantics", func() { experiments.WriteSemanticsAblation(os.Stdout, pts) })
+		b.ReportMetric(pts[0].F, "F-exact")
+		b.ReportMetric(pts[2].F, "F-semantic")
+	}
+}

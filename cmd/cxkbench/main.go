@@ -1,0 +1,137 @@
+// Command cxkbench runs the paper's evaluation experiments and prints the
+// tables and figure series (Sect. 5 of the paper; see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	cxkbench -exp fig7                # Fig. 7 on all four corpora
+//	cxkbench -exp fig8 -dataset DBLP  # one Fig. 8 panel
+//	cxkbench -exp table1|table2|gamma|rules|cache|all
+//	cxkbench -scale paper             # paper-geometry profile (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlclust/internal/dataset"
+	"xmlclust/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | semantics | cost | all")
+		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma)")
+		scaleFl = flag.String("scale", "quick", "profile: quick | paper")
+	)
+	flag.Parse()
+
+	scale := experiments.QuickScale()
+	if *scaleFl == "paper" {
+		scale = experiments.PaperScale()
+	}
+	fmt.Printf("profile %q: docs=%v figMs=%v tableMs=%v seeds=%v\n\n",
+		scale.Name, scale.Docs, scale.FigMs, scale.TableMs, scale.Seeds)
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	datasets := dataset.Names()
+	if *ds != "" {
+		datasets = []string{canonical(*ds)}
+	}
+
+	if want("fig7") {
+		for _, d := range datasets {
+			res, err := experiments.Fig7(d, scale)
+			check(err)
+			res.Write(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if want("table1") {
+		for _, s := range []experiments.Setting{experiments.ContentDriven, experiments.HybridDriven, experiments.StructureDriven} {
+			res, err := experiments.AccuracyTable(s, false, scale)
+			check(err)
+			res.Write(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if want("table2") {
+		for _, s := range []experiments.Setting{experiments.ContentDriven, experiments.HybridDriven, experiments.StructureDriven} {
+			res, err := experiments.AccuracyTable(s, true, scale)
+			check(err)
+			res.Write(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if want("fig8") {
+		fig8Sets := datasets
+		if *ds == "" {
+			fig8Sets = []string{"DBLP", "IEEE"} // the paper's two panels
+		}
+		for _, d := range fig8Sets {
+			res, err := experiments.Fig8(d, scale)
+			check(err)
+			res.Write(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if want("gamma") {
+		gammaSets := datasets
+		if *ds == "" {
+			gammaSets = []string{"DBLP"}
+		}
+		for _, d := range gammaSets {
+			kind := dataset.ByHybrid
+			if d == "Wikipedia" {
+				kind = dataset.ByContent
+			}
+			pts, err := experiments.GammaSweep(d, kind, 0.5, []float64{0.5, 0.6, 0.7, 0.8, 0.9}, scale, scale.Seeds[0])
+			check(err)
+			experiments.WriteGammaSweep(os.Stdout, d, pts)
+			fmt.Println()
+		}
+	}
+	if want("rules") {
+		pts, err := experiments.ReturnRuleAblation("DBLP", dataset.ByHybrid, scale, scale.Seeds[0])
+		check(err)
+		experiments.WriteRuleAblation(os.Stdout, "DBLP", pts)
+		fmt.Println()
+	}
+	if want("cache") {
+		pts, err := experiments.PathCacheAblation("DBLP", scale, scale.Seeds[0])
+		check(err)
+		experiments.WriteCacheAblation(os.Stdout, "DBLP", pts)
+		fmt.Println()
+	}
+	if want("semantics") {
+		pts, err := experiments.SemanticsAblation(scale, scale.Seeds[0])
+		check(err)
+		experiments.WriteSemanticsAblation(os.Stdout, pts)
+		fmt.Println()
+	}
+	if want("cost") {
+		res, err := experiments.CostModel("DBLP", scale)
+		check(err)
+		res.Write(os.Stdout)
+		fmt.Println()
+	}
+}
+
+func canonical(name string) string {
+	for _, n := range dataset.Names() {
+		if strings.EqualFold(n, name) {
+			return n
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cxkbench: unknown dataset %q (have %v)\n", name, dataset.Names())
+	os.Exit(2)
+	return ""
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cxkbench:", err)
+		os.Exit(1)
+	}
+}

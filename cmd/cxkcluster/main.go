@@ -1,0 +1,165 @@
+// Command cxkcluster clusters a directory of XML documents with CXK-means
+// and prints the per-document cluster assignment.
+//
+// Usage:
+//
+//	cxkcluster -k 8 [-f 0.5] [-gamma 0.7] [-peers 4] [-seed 1] [-tcp] dir-or-files...
+//
+// Each argument is either an XML file or a directory scanned (non-
+// recursively) for *.xml files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"xmlclust"
+)
+
+func main() {
+	var (
+		k       = flag.Int("k", 4, "number of clusters")
+		f       = flag.Float64("f", 0.5, "structure/content balance f ∈ [0,1]")
+		gamma   = flag.Float64("gamma", 0.7, "γ-matching threshold")
+		peers   = flag.Int("peers", 1, "number of P2P nodes (1 = centralized)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		tcp     = flag.Bool("tcp", false, "run peers over loopback TCP")
+		unequal = flag.Bool("unequal", false, "skewed data distribution (half the peers hold twice the data)")
+		maxTup  = flag.Int("maxtuples", 0, "cap on tree tuples per document (0 = default)")
+		verbose = flag.Bool("v", false, "print per-transaction assignments")
+		saveTo  = flag.String("save", "", "write the preprocessed corpus to this file after building")
+		loadFm  = flag.String("load", "", "load a preprocessed corpus instead of parsing XML")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 && *loadFm == "" {
+		fmt.Fprintln(os.Stderr, "usage: cxkcluster [flags] dir-or-files...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var corpus *xmlclust.Corpus
+	var paths []string
+	if *loadFm != "" {
+		f, err := os.Open(*loadFm)
+		if err != nil {
+			fatal(err)
+		}
+		corpus, err = xmlclust.LoadCorpus(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded corpus: %d transactions, %d items, vocabulary %d\n",
+			len(corpus.Transactions), corpus.Items.Len(), corpus.Terms.Len())
+	} else {
+		var err error
+		paths, err = collectPaths(flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		if len(paths) == 0 {
+			fatal(fmt.Errorf("no XML files found"))
+		}
+		trees, err := xmlclust.ParseFiles(paths)
+		if err != nil {
+			fatal(err)
+		}
+		corpus = xmlclust.BuildCorpus(trees, xmlclust.CorpusOptions{MaxTuplesPerTree: *maxTup})
+		fmt.Printf("parsed %d documents → %d transactions, %d items, vocabulary %d\n",
+			len(trees), len(corpus.Transactions), corpus.Items.Len(), corpus.Terms.Len())
+	}
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fatal(err)
+		}
+		if err := xmlclust.SaveCorpus(f, corpus); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved corpus to %s\n", *saveTo)
+	}
+
+	res, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+		K: *k, F: *f, Gamma: *gamma, Peers: *peers, Seed: *seed,
+		UseTCP: *tcp, UnequalSplit: *unequal,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("clustered in %d rounds, wall %v", res.Rounds, res.WallTime.Round(1e6))
+	if *peers > 1 {
+		fmt.Printf(", traffic %d msgs / %d bytes", res.TrafficMsgs, res.TrafficBytes)
+	}
+	fmt.Println()
+
+	docCluster := xmlclust.DocumentClusters(corpus, res.Assign)
+	byCluster := map[int][]string{}
+	for doc, cl := range docCluster {
+		name := fmt.Sprintf("document %d", doc)
+		if doc < len(paths) {
+			name = paths[doc]
+		}
+		byCluster[cl] = append(byCluster[cl], name)
+	}
+	ids := make([]int, 0, len(byCluster))
+	for cl := range byCluster {
+		ids = append(ids, cl)
+	}
+	sort.Ints(ids)
+	for _, cl := range ids {
+		name := fmt.Sprintf("cluster %d", cl)
+		if cl == xmlclust.TrashCluster {
+			name = "trash"
+		}
+		files := byCluster[cl]
+		sort.Strings(files)
+		fmt.Printf("%s (%d documents):\n", name, len(files))
+		for _, p := range files {
+			fmt.Printf("  %s\n", p)
+		}
+	}
+	if *verbose {
+		fmt.Println("per-transaction assignments:")
+		for i, tr := range corpus.Transactions {
+			fmt.Printf("  doc %d tuple %d → %d\n", tr.Doc, tr.TupleIndex, res.Assign[i])
+		}
+	}
+}
+
+func collectPaths(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		entries, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(strings.ToLower(e.Name()), ".xml") {
+				out = append(out, filepath.Join(a, e.Name()))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxkcluster:", err)
+	os.Exit(1)
+}

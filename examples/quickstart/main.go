@@ -1,0 +1,65 @@
+// Quickstart: parse a handful of XML documents, build the transactional
+// corpus and cluster it centrally with CXK-means — the minimal end-to-end
+// use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlclust"
+)
+
+var docs = []string{
+	`<library><book isbn="1"><title>introduction to data mining</title><author>jane smith</author><topic>mining</topic></book></library>`,
+	`<library><book isbn="2"><title>advanced data mining patterns</title><author>li wei</author><topic>mining</topic></book></library>`,
+	`<library><book isbn="3"><title>mining massive datasets</title><author>jane smith</author><topic>mining</topic></book></library>`,
+	`<library><book isbn="4"><title>computer networks explained</title><author>amy jones</author><topic>networks</topic></book></library>`,
+	`<library><book isbn="5"><title>wireless networks handbook</title><author>raj patel</author><topic>networks</topic></book></library>`,
+	`<library><book isbn="6"><title>software defined networks</title><author>amy jones</author><topic>networks</topic></book></library>`,
+}
+
+func main() {
+	// 1. Parse the documents into labeled rooted trees.
+	var trees []*xmlclust.Tree
+	for _, d := range docs {
+		t, err := xmlclust.ParseString(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trees = append(trees, t)
+	}
+
+	// 2. Decompose into tree tuples, model as transactions, weight text.
+	corpus := xmlclust.BuildCorpus(trees, xmlclust.CorpusOptions{})
+	fmt.Printf("%d documents → %d transactions over %d items\n",
+		len(trees), len(corpus.Transactions), corpus.Items.Len())
+
+	// 3. Cluster (centralized: Peers defaults to 1). f=0.3 leans on
+	// content, γ=0.6 tolerates partial matches.
+	res, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+		K: 2, F: 0.3, Gamma: 0.6, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged in %d rounds (%v)\n", res.Rounds, res.WallTime.Round(1e6))
+
+	// 4. Report per-document clusters (majority vote over tuples).
+	for doc, cl := range xmlclust.DocumentClusters(corpus, res.Assign) {
+		name := fmt.Sprintf("cluster %d", cl)
+		if cl == xmlclust.TrashCluster {
+			name = "trash"
+		}
+		fmt.Printf("  document %d (%s) → %s\n", doc, firstTitle(trees[doc]), name)
+	}
+}
+
+func firstTitle(t *xmlclust.Tree) string {
+	for _, n := range t.Nodes {
+		if n.Label == "S" && n.Parent != nil && n.Parent.Label == "title" {
+			return n.Value
+		}
+	}
+	return "?"
+}

@@ -1,0 +1,436 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xmlclust/internal/sim"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/weighting"
+	"xmlclust/internal/xmltree"
+)
+
+// twoTopicDocs builds a tiny corpus with two clearly separated groups:
+// papers about "mining patterns" and reports about "routing networks".
+func twoTopicDocs(t testing.TB, perGroup int) *txn.Corpus {
+	t.Helper()
+	var trees []*xmltree.Tree
+	var labels []int
+	for i := 0; i < perGroup; i++ {
+		doc := fmt.Sprintf(`<db><paper key="p%d">
+			<writer>alice cooper</writer>
+			<name>mining frequent patterns number%d</name>
+			<venue>KDD</venue>
+		</paper></db>`, i, i)
+		tree, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+		labels = append(labels, 0)
+	}
+	for i := 0; i < perGroup; i++ {
+		doc := fmt.Sprintf(`<db><report key="r%d">
+			<editor>bob dylan</editor>
+			<heading>routing wireless networks number%d</heading>
+			<lab>NETLAB</lab>
+		</report></db>`, i, i)
+		tree, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+		labels = append(labels, 1)
+	}
+	corpus := txn.Build(trees, txn.BuildOptions{Labels: labels})
+	weighting.Apply(corpus)
+	return corpus
+}
+
+func ctxFor(corpus *txn.Corpus, f, gamma float64) *sim.Context {
+	return sim.NewContext(corpus, sim.Params{F: f, Gamma: gamma})
+}
+
+func TestConflateItemsGroupsByPath(t *testing.T) {
+	corpus := twoTopicDocs(t, 2)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	// Take all items of the first two transactions (same schema → same
+	// paths, different answers on name/key).
+	var ids []txn.ItemID
+	ids = append(ids, corpus.Transactions[0].Items...)
+	ids = append(ids, corpus.Transactions[1].Items...)
+	rep := ConflateItems(cx.Items, ids)
+	// The representative must be in tree-tuple form: distinct paths only.
+	seen := map[xmltree.PathID]bool{}
+	for _, id := range rep.Items {
+		p := cx.Items.Get(id).Path
+		if seen[p] {
+			t.Fatalf("path %v appears twice in conflated representative", p)
+		}
+		seen[p] = true
+	}
+	// Shared items (writer, venue) stay raw; divergent ones are synthetic.
+	var synth, raw int
+	for _, id := range rep.Items {
+		if cx.Items.Get(id).Synthetic {
+			synth++
+		} else {
+			raw++
+		}
+	}
+	if synth == 0 || raw == 0 {
+		t.Errorf("expected a mix of synthetic and raw items, got %d/%d", synth, raw)
+	}
+}
+
+func TestConflateItemsDeterministic(t *testing.T) {
+	corpus := twoTopicDocs(t, 2)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	ids := append([]txn.ItemID(nil), corpus.Transactions[0].Items...)
+	ids = append(ids, corpus.Transactions[1].Items...)
+	a := ConflateItems(cx.Items, ids)
+	// Reversed input order must produce the same representative.
+	rev := make([]txn.ItemID, len(ids))
+	for i, id := range ids {
+		rev[len(ids)-1-i] = id
+	}
+	b := ConflateItems(cx.Items, rev)
+	if !a.Equal(b) {
+		t.Errorf("conflation order-sensitive: %v vs %v", a.Items, b.Items)
+	}
+}
+
+func TestConflateFlattensNestedSynthetics(t *testing.T) {
+	corpus := twoTopicDocs(t, 3)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	ids01 := append([]txn.ItemID(nil), corpus.Transactions[0].Items...)
+	ids01 = append(ids01, corpus.Transactions[1].Items...)
+	rep01 := ConflateItems(cx.Items, ids01)
+	// Conflating the conflation with transaction 2 must equal conflating
+	// all three directly (exactness of constituent tracking).
+	idsNested := append([]txn.ItemID(nil), rep01.Items...)
+	var flat []txn.ItemID
+	for _, id := range idsNested {
+		flat = append(flat, cx.Items.Get(id).Flatten()...)
+	}
+	flat = append(flat, corpus.Transactions[2].Items...)
+	nested := ConflateItems(cx.Items, flat)
+
+	var direct []txn.ItemID
+	for _, tr := range corpus.Transactions[:3] {
+		direct = append(direct, tr.Items...)
+	}
+	want := ConflateItems(cx.Items, direct)
+	if !nested.Equal(want) {
+		t.Errorf("nested conflation differs: %v vs %v", nested.Items, want.Items)
+	}
+}
+
+func TestComputeLocalRepresentativeEmpty(t *testing.T) {
+	corpus := twoTopicDocs(t, 1)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	if got := ComputeLocalRepresentative(RepConfig{Ctx: cx}, nil); got != nil {
+		t.Errorf("empty cluster rep = %v, want nil", got)
+	}
+}
+
+func TestComputeLocalRepresentativeCoversCluster(t *testing.T) {
+	corpus := twoTopicDocs(t, 4)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	papers := corpus.Transactions[:4]
+	rep := ComputeLocalRepresentative(RepConfig{Ctx: cx}, papers)
+	if rep == nil || rep.Len() == 0 {
+		t.Fatal("nil/empty representative")
+	}
+	// The representative must be γ-similar to every member.
+	for i, tr := range papers {
+		if got := cx.Transactions(tr, rep); got == 0 {
+			t.Errorf("member %d has zero similarity to its representative", i)
+		}
+	}
+	// Size bound: |rep| ≤ max member length (+ slack of 0: per Fig. 6 it
+	// can exceed trmax only transiently, never in the returned value under
+	// the default rule... the guard allows ≤ trmax in returns).
+	if rep.Len() > txn.MaxTransactionLen(papers)+1 {
+		t.Errorf("representative too long: %d > %d", rep.Len(), txn.MaxTransactionLen(papers))
+	}
+}
+
+func TestRepresentativeSeparatesGroups(t *testing.T) {
+	corpus := twoTopicDocs(t, 4)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	papers := corpus.Transactions[:4]
+	reports := corpus.Transactions[4:]
+	prep := ComputeLocalRepresentative(RepConfig{Ctx: cx}, papers)
+	rrep := ComputeLocalRepresentative(RepConfig{Ctx: cx}, reports)
+	for _, tr := range papers {
+		if cx.Transactions(tr, prep) <= cx.Transactions(tr, rrep) {
+			t.Errorf("paper closer to report representative")
+		}
+	}
+	for _, tr := range reports {
+		if cx.Transactions(tr, rrep) <= cx.Transactions(tr, prep) {
+			t.Errorf("report closer to paper representative")
+		}
+	}
+}
+
+func TestComputeGlobalRepresentativeMergesLocals(t *testing.T) {
+	corpus := twoTopicDocs(t, 6)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	papers := corpus.Transactions[:6]
+	l1 := ComputeLocalRepresentative(RepConfig{Ctx: cx}, papers[:3])
+	l2 := ComputeLocalRepresentative(RepConfig{Ctx: cx}, papers[3:])
+	g := ComputeGlobalRepresentative(RepConfig{Ctx: cx}, []WeightedRep{
+		{Rep: l1, Weight: 3}, {Rep: l2, Weight: 3},
+	})
+	if g == nil || g.Len() == 0 {
+		t.Fatal("nil global representative")
+	}
+	for i, tr := range papers {
+		if cx.Transactions(tr, g) == 0 {
+			t.Errorf("paper %d unreachable from global representative", i)
+		}
+	}
+}
+
+func TestComputeGlobalRepresentativeNilInputs(t *testing.T) {
+	corpus := twoTopicDocs(t, 1)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	if got := ComputeGlobalRepresentative(RepConfig{Ctx: cx}, nil); got != nil {
+		t.Errorf("no reps should yield nil, got %v", got)
+	}
+	if got := ComputeGlobalRepresentative(RepConfig{Ctx: cx}, []WeightedRep{{Rep: nil, Weight: 5}}); got != nil {
+		t.Errorf("all-nil reps should yield nil, got %v", got)
+	}
+}
+
+func TestGlobalRepresentativeWeightInfluence(t *testing.T) {
+	corpus := twoTopicDocs(t, 6)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	papers := corpus.Transactions[:6]
+	reports := corpus.Transactions[6:]
+	lp := ComputeLocalRepresentative(RepConfig{Ctx: cx}, papers)
+	lr := ComputeLocalRepresentative(RepConfig{Ctx: cx}, reports)
+	// Heavily weighted paper rep should dominate the merge.
+	g := ComputeGlobalRepresentative(RepConfig{Ctx: cx}, []WeightedRep{
+		{Rep: lp, Weight: 100}, {Rep: lr, Weight: 1},
+	})
+	simP := cx.Transactions(papers[0], g)
+	simR := cx.Transactions(reports[0], g)
+	if simP <= simR {
+		t.Errorf("weight 100 paper rep should dominate: paper=%v report=%v", simP, simR)
+	}
+}
+
+func TestSelectInitialDistinctDocs(t *testing.T) {
+	corpus := twoTopicDocs(t, 5)
+	rng := rand.New(rand.NewSource(7))
+	sel := SelectInitial(corpus.Transactions, 4, rng)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d, want 4", len(sel))
+	}
+	docs := map[int]bool{}
+	for _, tr := range sel {
+		if docs[tr.Doc] {
+			t.Errorf("duplicate source document %d", tr.Doc)
+		}
+		docs[tr.Doc] = true
+	}
+}
+
+func TestSelectInitialMoreThanDocs(t *testing.T) {
+	corpus := twoTopicDocs(t, 1) // 2 documents, 2 transactions
+	rng := rand.New(rand.NewSource(7))
+	sel := SelectInitial(corpus.Transactions, 5, rng)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d, want all 2", len(sel))
+	}
+	if got := SelectInitial(corpus.Transactions, 0, rng); got != nil {
+		t.Errorf("q=0 should select nothing")
+	}
+	if got := SelectInitial(nil, 3, rng); got != nil {
+		t.Errorf("empty input should select nothing")
+	}
+}
+
+func TestSelectInitialDeterministic(t *testing.T) {
+	corpus := twoTopicDocs(t, 5)
+	a := SelectInitial(corpus.Transactions, 3, rand.New(rand.NewSource(9)))
+	b := SelectInitial(corpus.Transactions, 3, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("selection not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestRelocateTrashAndArgmax(t *testing.T) {
+	corpus := twoTopicDocs(t, 3)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	papers := corpus.Transactions[:3]
+	reports := corpus.Transactions[3:]
+	reps := []*txn.Transaction{
+		ComputeLocalRepresentative(RepConfig{Ctx: cx}, papers),
+		ComputeLocalRepresentative(RepConfig{Ctx: cx}, reports),
+	}
+	assign := Relocate(cx, corpus.Transactions, reps)
+	for i := 0; i < 3; i++ {
+		if assign[i] != 0 {
+			t.Errorf("paper %d assigned to %d", i, assign[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if assign[i] != 1 {
+			t.Errorf("report %d assigned to %d", i, assign[i])
+		}
+	}
+	// Nil representatives are skipped; all-nil → trash.
+	assign = Relocate(cx, corpus.Transactions, []*txn.Transaction{nil, nil})
+	for _, a := range assign {
+		if a != TrashCluster {
+			t.Errorf("expected trash with nil reps, got %d", a)
+		}
+	}
+}
+
+func TestXKMeansTwoGroups(t *testing.T) {
+	corpus := twoTopicDocs(t, 5)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	// An unlucky seed can draw both initial representatives from one group
+	// (the other group then lands in the trash cluster, which is legitimate
+	// behavior); pick the first seed whose initial selection spans both.
+	var cl *Clustering
+	for seed := int64(0); seed < 10; seed++ {
+		init := SelectInitial(corpus.Transactions, 2, rand.New(rand.NewSource(seed)))
+		if len(init) == 2 && (init[0].Doc < 5) != (init[1].Doc < 5) {
+			cl = XKMeans(cx, corpus.Transactions, Config{K: 2, Seed: seed})
+			break
+		}
+	}
+	if cl == nil {
+		t.Fatal("no seed produced cross-group initial representatives")
+	}
+	if cl.Iterations == 0 || cl.Iterations > DefaultMaxIter {
+		t.Fatalf("iterations = %d", cl.Iterations)
+	}
+	// Perfect separation: each group lands in one cluster.
+	first := cl.Assign[0]
+	if first == TrashCluster {
+		t.Fatal("paper 0 in trash")
+	}
+	for i := 1; i < 5; i++ {
+		if cl.Assign[i] != first {
+			t.Errorf("papers split: %v", cl.Assign)
+		}
+	}
+	second := cl.Assign[5]
+	if second == first || second == TrashCluster {
+		t.Fatalf("reports not separated: %v", cl.Assign)
+	}
+	for i := 6; i < 10; i++ {
+		if cl.Assign[i] != second {
+			t.Errorf("reports split: %v", cl.Assign)
+		}
+	}
+	if cl.Sizes[first] != 5 || cl.Sizes[second] != 5 {
+		t.Errorf("sizes = %v", cl.Sizes)
+	}
+}
+
+func TestXKMeansDeterministic(t *testing.T) {
+	corpus := twoTopicDocs(t, 4)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	a := XKMeans(cx, corpus.Transactions, Config{K: 2, Seed: 11})
+	b := XKMeans(cx, corpus.Transactions, Config{K: 2, Seed: 11})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("assignments differ across identical runs")
+		}
+	}
+}
+
+func TestXKMeansKOne(t *testing.T) {
+	corpus := twoTopicDocs(t, 3)
+	cx := ctxFor(corpus, 0.5, 0.5)
+	cl := XKMeans(cx, corpus.Transactions, Config{K: 1, Seed: 1})
+	nonTrash := 0
+	for _, a := range cl.Assign {
+		if a == 0 {
+			nonTrash++
+		}
+	}
+	if nonTrash == 0 {
+		t.Error("k=1 clustered nothing")
+	}
+}
+
+func TestSSE(t *testing.T) {
+	corpus := twoTopicDocs(t, 3)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	papers := corpus.Transactions[:3]
+	rep := ComputeLocalRepresentative(RepConfig{Ctx: cx}, papers)
+	assign := []int{0, 0, 0}
+	sse := SSE(cx, papers, assign, []*txn.Transaction{rep})
+	if sse < 0 || sse > 3 {
+		t.Errorf("sse = %v out of range", sse)
+	}
+	// Trash assignments contribute 1 each.
+	sseTrash := SSE(cx, papers, []int{-1, -1, -1}, []*txn.Transaction{rep})
+	if sseTrash != 3 {
+		t.Errorf("trash sse = %v, want 3", sseTrash)
+	}
+}
+
+func TestMembersAndSortedSizes(t *testing.T) {
+	corpus := twoTopicDocs(t, 3)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	cl := XKMeans(cx, corpus.Transactions, Config{K: 2, Seed: 3})
+	total := 0
+	for j := 0; j < 2; j++ {
+		total += len(cl.Members(corpus.Transactions, j))
+	}
+	if total > len(corpus.Transactions) {
+		t.Errorf("members exceed transactions")
+	}
+	sizes := SortedClusterSizes(cl)
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i-1] < sizes[i] {
+			t.Errorf("sizes not descending: %v", sizes)
+		}
+	}
+}
+
+func TestGenerateTreeTupleRules(t *testing.T) {
+	corpus := twoTopicDocs(t, 4)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	papers := corpus.Transactions[:4]
+	for _, rule := range []ReturnRule{ReturnBestObjective, ReturnLastImproving, ReturnPrevious} {
+		rep := ComputeLocalRepresentative(RepConfig{Ctx: cx, Rule: rule}, papers)
+		if rep == nil || rep.Len() == 0 {
+			t.Errorf("rule %d produced empty representative", rule)
+		}
+	}
+}
+
+func BenchmarkComputeLocalRepresentative(b *testing.B) {
+	corpus := twoTopicDocs(b, 8)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	papers := corpus.Transactions[:8]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeLocalRepresentative(RepConfig{Ctx: cx}, papers)
+	}
+}
+
+func BenchmarkXKMeans(b *testing.B) {
+	corpus := twoTopicDocs(b, 10)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XKMeans(cx, corpus.Transactions, Config{K: 2, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+
+	"xmlclust/internal/sim"
+	"xmlclust/internal/txn"
+)
+
+// TrashCluster is the assignment value for the (k+1)-th cluster collecting
+// transactions with zero similarity to every representative (Sect. 4.2).
+const TrashCluster = -1
+
+// Config parameterizes the centralized XK-means variant of [33,32]: the
+// K-means-like transactional clustering that CXK-means runs per peer and
+// that constitutes the m=1 baseline.
+type Config struct {
+	K int
+	// MaxIter bounds the outer relocation/representative loop (the paper
+	// observes convergence in fewer than 10 iterations).
+	MaxIter int
+	// Seed drives the deterministic initial representative selection.
+	Seed int64
+	// Rule selects the GenerateTreeTuple return reading.
+	Rule ReturnRule
+}
+
+// DefaultMaxIter is the safety bound on clustering iterations.
+const DefaultMaxIter = 20
+
+// Clustering is the result of a (local or centralized) clustering run.
+type Clustering struct {
+	// Assign maps transaction index → cluster in [0,K), or TrashCluster.
+	Assign []int
+	// Reps holds the K cluster representatives (nil for empty clusters).
+	Reps []*txn.Transaction
+	// Sizes holds |C_j| per cluster.
+	Sizes []int
+	// Iterations is the number of outer iterations executed.
+	Iterations int
+}
+
+// Members collects the transactions assigned to cluster j.
+func (cl *Clustering) Members(s []*txn.Transaction, j int) []*txn.Transaction {
+	var out []*txn.Transaction
+	for i, a := range cl.Assign {
+		if a == j {
+			out = append(out, s[i])
+		}
+	}
+	return out
+}
+
+// SelectInitial picks up to q transactions from s originating in distinct
+// source documents ("coming from distinct original trees", Fig. 5), using
+// the seeded rng for tie-breaking. The selection is deterministic for a
+// fixed seed.
+func SelectInitial(s []*txn.Transaction, q int, rng *rand.Rand) []*txn.Transaction {
+	if q <= 0 || len(s) == 0 {
+		return nil
+	}
+	perm := rng.Perm(len(s))
+	seenDoc := map[int]struct{}{}
+	var out []*txn.Transaction
+	for _, i := range perm {
+		tr := s[i]
+		if tr.Len() == 0 {
+			continue
+		}
+		if _, dup := seenDoc[tr.Doc]; dup {
+			continue
+		}
+		seenDoc[tr.Doc] = struct{}{}
+		out = append(out, tr)
+		if len(out) == q {
+			return out
+		}
+	}
+	// Fewer distinct documents than q: fill with remaining transactions.
+	for _, i := range perm {
+		if len(out) == q {
+			break
+		}
+		tr := s[i]
+		if tr.Len() == 0 {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == tr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// Relocate performs the transaction-relocation step of Fig. 5 for a fixed
+// set of representatives: every transaction with zero similarity to all
+// representatives joins the trash cluster; the others join the argmax
+// cluster (ties to the lowest index). nil reps never win.
+func Relocate(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction) []int {
+	assign := make([]int, len(s))
+	for i, tr := range s {
+		best, bestJ := 0.0, TrashCluster
+		for j, rep := range reps {
+			if rep == nil || rep.Len() == 0 {
+				continue
+			}
+			v := cx.Transactions(tr, rep)
+			if v > best {
+				best, bestJ = v, j
+			}
+		}
+		assign[i] = bestJ
+	}
+	return assign
+}
+
+// XKMeans runs the centralized transactional clustering: select k initial
+// representatives from distinct documents, then alternate relocation and
+// representative recomputation until representatives are stable.
+func XKMeans(cx *sim.Context, s []*txn.Transaction, cfg Config) *Clustering {
+	k := cfg.K
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	repCfg := RepConfig{Ctx: cx, Rule: cfg.Rule}
+
+	reps := make([]*txn.Transaction, k)
+	for i, tr := range SelectInitial(s, k, rng) {
+		reps[i] = tr
+	}
+	cl := &Clustering{Assign: make([]int, len(s)), Reps: reps}
+	for i := range cl.Assign {
+		cl.Assign[i] = TrashCluster
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		cl.Iterations = iter + 1
+		assign := Relocate(cx, s, reps)
+		newReps := make([]*txn.Transaction, k)
+		members := make([][]*txn.Transaction, k)
+		for i, a := range assign {
+			if a >= 0 {
+				members[a] = append(members[a], s[i])
+			}
+		}
+		for j := 0; j < k; j++ {
+			if len(members[j]) == 0 {
+				newReps[j] = reps[j] // keep the old representative alive
+				continue
+			}
+			newReps[j] = ComputeLocalRepresentative(repCfg, members[j])
+		}
+		stable := assignEqual(assign, cl.Assign) && repsEqual(newReps, reps)
+		cl.Assign = assign
+		reps = newReps
+		cl.Reps = reps
+		if stable {
+			break
+		}
+	}
+	cl.Sizes = make([]int, k)
+	for _, a := range cl.Assign {
+		if a >= 0 {
+			cl.Sizes[a]++
+		}
+	}
+	return cl
+}
+
+func assignEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func repsEqual(a, b []*txn.Transaction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		switch {
+		case a[i] == nil && b[i] == nil:
+		case a[i] == nil || b[i] == nil:
+			return false
+		case !a[i].Equal(b[i]):
+			return false
+		}
+	}
+	return true
+}
+
+// SSE computes the K-means-style objective adapted to the transactional
+// similarity: Σ over non-trash transactions of (1 − simγJ(tr, rep_assigned)).
+// Used by the PK-means baseline's global stopping rule.
+func SSE(cx *sim.Context, s []*txn.Transaction, assign []int, reps []*txn.Transaction) float64 {
+	var sse float64
+	for i, a := range assign {
+		if a < 0 || a >= len(reps) || reps[a] == nil {
+			sse += 1 // trash contributes maximal error
+			continue
+		}
+		sse += 1 - cx.Transactions(s[i], reps[a])
+	}
+	return sse
+}
+
+// SortedClusterSizes returns the cluster sizes in descending order (used by
+// diagnostics and the h-parameter estimate of Sect. 4.3.4).
+func SortedClusterSizes(cl *Clustering) []int {
+	out := append([]int(nil), cl.Sizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,177 @@
+// Package complexity implements the analytical cost model of Sect. 4.3:
+// the per-peer main-memory cost C_mem, the communication cost C_comm, the
+// global time function
+//
+//	f(m) = |trmax|·|umax|·( |trmax|²·|S|²·t_mem/(h·m) + k·t_comm·(m−1) )
+//
+// (Sect. 4.3.4) and its minimizer
+//
+//	m* = |S|/√h · √( |trmax|²·t_mem / (k·t_comm) )
+//
+// which upper-bounds the network size that still yields efficiency gains.
+// The experiment harness compares these predictions against the measured
+// Fig. 7 curves.
+package complexity
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"xmlclust/internal/txn"
+)
+
+// Model carries the workload and machine constants of Sect. 4.3.4.
+type Model struct {
+	// S is the total number of transactions |S|.
+	S int
+	// K is the number of clusters.
+	K int
+	// TrMax is |trmax|, the maximum transaction length.
+	TrMax int
+	// UMax is |umax|, the maximum TCU vector dimensionality.
+	UMax int
+	// H ∈ [1,k] captures the cluster-size distribution: k for balanced
+	// clusters (Case 1 of Sect. 4.3.4), 1 for one dominant cluster (Case 2).
+	H float64
+	// TMem is the time of a single main-memory operation.
+	TMem time.Duration
+	// TComm is the time of a single inter-node communication.
+	TComm time.Duration
+}
+
+// FromCorpus derives the workload constants from a corpus, with h estimated
+// as balanced (H = k).
+func FromCorpus(c *txn.Corpus, k int) Model {
+	trMax := txn.MaxTransactionLen(c.Transactions)
+	uMax := 0
+	for id := 0; id < c.Items.Len(); id++ {
+		if l := c.Items.Get(txn.ItemID(id)).Vector.Len(); l > uMax {
+			uMax = l
+		}
+	}
+	return Model{
+		S: len(c.Transactions), K: k, TrMax: trMax, UMax: uMax, H: float64(k),
+		// Defaults in the ballpark of a 2000s-era node (the paper's
+		// Itanium 2 testbed) on a GigaBit LAN; calibrate with Fit.
+		TMem:  2 * time.Nanosecond,
+		TComm: 200 * time.Microsecond,
+	}
+}
+
+// Valid reports whether the model constants are usable.
+func (md Model) Valid() error {
+	switch {
+	case md.S <= 0:
+		return fmt.Errorf("complexity: |S| must be positive")
+	case md.K <= 0:
+		return fmt.Errorf("complexity: k must be positive")
+	case md.TrMax <= 0 || md.UMax < 0:
+		return fmt.Errorf("complexity: workload constants degenerate")
+	case md.H < 1 || md.H > float64(md.K):
+		return fmt.Errorf("complexity: h must lie in [1,k]")
+	case md.TMem <= 0 || md.TComm <= 0:
+		return fmt.Errorf("complexity: machine constants must be positive")
+	}
+	return nil
+}
+
+// MemOps returns the Sect. 4.3.2 bound on per-peer main-memory operations
+// for one iteration with local share sizeI = |S_i|:
+//
+//	C_mem = |trmax|³·|umax|·(Σ_j |C_i_j|² + k·m) ≈ |trmax|³·|umax|·(|S_i|²/h' + k·m)
+//
+// with h' = H·(m²)/… folded into the balanced-share approximation
+// Σ|C_i_j|² ≈ |S_i|²·(k/H)/k = |S_i|²/H for balanced clusters.
+func (md Model) MemOps(sizeI, m int) float64 {
+	tr3 := math.Pow(float64(md.TrMax), 3)
+	sum := float64(sizeI) * float64(sizeI) / md.H * float64(md.K)
+	if md.H == float64(md.K) {
+		sum = float64(sizeI) * float64(sizeI) / float64(md.K)
+	}
+	return tr3 * float64(md.UMax) * (sum + float64(md.K*m))
+}
+
+// CommOps returns the Sect. 4.3.3 bound on per-peer transferred units per
+// iteration: O((m−1)/m · k · |trmax| · |umax|) in each direction.
+func (md Model) CommOps(m int) float64 {
+	if m <= 1 {
+		return 0
+	}
+	frac := float64(m-1) / float64(m)
+	return frac * float64(md.K) * float64(md.TrMax) * float64(md.UMax)
+}
+
+// GlobalTime evaluates f(m), the paper's global time consumption bound.
+func (md Model) GlobalTime(m int) time.Duration {
+	if m < 1 {
+		return 0
+	}
+	trU := float64(md.TrMax) * float64(md.UMax)
+	memTerm := math.Pow(float64(md.TrMax), 2) * float64(md.S) * float64(md.S) *
+		md.TMem.Seconds() / (md.H * float64(m))
+	commTerm := float64(md.K) * md.TComm.Seconds() * float64(m-1)
+	return time.Duration(trU * (memTerm + commTerm) * float64(time.Second))
+}
+
+// OptimalM returns the minimizer m* of f(m) — the upper bound on the
+// number of peers that still improves efficiency (Sect. 4.3.4).
+func (md Model) OptimalM() float64 {
+	return float64(md.S) / math.Sqrt(md.H) *
+		math.Sqrt(math.Pow(float64(md.TrMax), 2)*md.TMem.Seconds()/
+			(float64(md.K)*md.TComm.Seconds()))
+}
+
+// Curve evaluates f(m) over a set of network sizes.
+func (md Model) Curve(ms []int) []time.Duration {
+	out := make([]time.Duration, len(ms))
+	for i, m := range ms {
+		out[i] = md.GlobalTime(m)
+	}
+	return out
+}
+
+// Fit calibrates TMem and TComm so that f(m) passes through two measured
+// points (m1,t1) and (m2,t2) with m1 < m2. It returns an error when the
+// measurements cannot be explained by the model (e.g. non-positive
+// solution).
+func (md *Model) Fit(m1 int, t1 time.Duration, m2 int, t2 time.Duration) error {
+	if m1 >= m2 || m1 < 1 {
+		return fmt.Errorf("complexity: need 1 ≤ m1 < m2")
+	}
+	// f(m) = A/m + B(m−1) with
+	//   A = trU·tr²·S²/h · tmem,  B = trU·k · tcomm.
+	// Two equations, two unknowns.
+	x1, y1 := 1/float64(m1), float64(m1-1)
+	x2, y2 := 1/float64(m2), float64(m2-1)
+	det := x1*y2 - x2*y1
+	if det == 0 {
+		return fmt.Errorf("complexity: degenerate fit points")
+	}
+	a := (float64(t1)*y2 - float64(t2)*y1) / det
+	b := (float64(t2)*x1 - float64(t1)*x2) / det
+	trU := float64(md.TrMax) * float64(md.UMax)
+	if trU == 0 {
+		return fmt.Errorf("complexity: workload constants degenerate")
+	}
+	tmem := a / (trU * math.Pow(float64(md.TrMax), 2) * float64(md.S) * float64(md.S) / md.H)
+	tcomm := b / (trU * float64(md.K))
+	if tmem <= 0 || tcomm <= 0 {
+		return fmt.Errorf("complexity: measurements inconsistent with the model (t_mem=%v t_comm=%v)", tmem, tcomm)
+	}
+	md.TMem = time.Duration(tmem)
+	md.TComm = time.Duration(tcomm)
+	return nil
+}
+
+// Write renders the model and its predictions.
+func (md Model) Write(w io.Writer, ms []int) {
+	fmt.Fprintf(w, "cost model (Sect. 4.3.4): |S|=%d k=%d |trmax|=%d |umax|=%d h=%.0f t_mem=%v t_comm=%v\n",
+		md.S, md.K, md.TrMax, md.UMax, md.H, md.TMem, md.TComm)
+	fmt.Fprintf(w, "%6s  %16s\n", "m", "f(m)")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%6d  %16s\n", m, md.GlobalTime(m).Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "predicted optimal m* = %.1f\n", md.OptimalM())
+}

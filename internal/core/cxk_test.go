@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"xmlclust/internal/cluster"
+	"xmlclust/internal/eval"
+	"xmlclust/internal/p2p"
+	"xmlclust/internal/sim"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/weighting"
+	"xmlclust/internal/xmltree"
+)
+
+// miniCorpus builds 2·perGroup single-record documents in two well-separated
+// groups and returns the corpus plus per-transaction labels.
+func miniCorpus(t testing.TB, perGroup int) (*txn.Corpus, []int) {
+	t.Helper()
+	var trees []*xmltree.Tree
+	var labels []int
+	for i := 0; i < perGroup; i++ {
+		doc := fmt.Sprintf(`<db><paper key="p%d">
+			<writer>alice cooper</writer>
+			<name>mining frequent patterns number%d</name>
+			<venue>KDD</venue>
+		</paper></db>`, i, i)
+		tree, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+		labels = append(labels, 0)
+	}
+	for i := 0; i < perGroup; i++ {
+		doc := fmt.Sprintf(`<db><report key="r%d">
+			<editor>bob dylan</editor>
+			<heading>routing wireless networks number%d</heading>
+			<lab>NETLAB</lab>
+		</report></db>`, i, i)
+		tree, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+		labels = append(labels, 1)
+	}
+	corpus := txn.Build(trees, txn.BuildOptions{Labels: labels})
+	weighting.Apply(corpus)
+	tl := make([]int, len(corpus.Transactions))
+	for i, tr := range corpus.Transactions {
+		tl[i] = tr.Label
+	}
+	return corpus, tl
+}
+
+func TestEqualPartitionCoversAll(t *testing.T) {
+	p := EqualPartition(10, 3, 1)
+	if len(p) != 3 {
+		t.Fatalf("parts = %d", len(p))
+	}
+	seen := map[int]bool{}
+	for _, part := range p {
+		for _, idx := range part {
+			if seen[idx] {
+				t.Fatalf("index %d assigned twice", idx)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("covered %d of 10", len(seen))
+	}
+	// Sizes as even as possible.
+	for _, part := range p {
+		if len(part) < 3 || len(part) > 4 {
+			t.Errorf("part size %d", len(part))
+		}
+	}
+}
+
+func TestUnequalPartitionRatios(t *testing.T) {
+	// m=4, n=120: first 2 peers get 2 shares (40 each), last 2 get 1 (20).
+	p := UnequalPartition(120, 4, 1)
+	if len(p[0]) != 40 || len(p[1]) != 40 || len(p[2]) != 20 || len(p[3]) != 20 {
+		t.Errorf("sizes = %d %d %d %d", len(p[0]), len(p[1]), len(p[2]), len(p[3]))
+	}
+	total := 0
+	for _, part := range p {
+		total += len(part)
+	}
+	if total != 120 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	a := EqualPartition(50, 5, 7)
+	b := EqualPartition(50, 5, 7)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("sizes differ")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("content differs")
+			}
+		}
+	}
+}
+
+func TestResponsibilityPartition(t *testing.T) {
+	zs := ResponsibilityPartition(16, 5)
+	if len(zs) != 5 {
+		t.Fatalf("parts = %d", len(zs))
+	}
+	seen := map[int]bool{}
+	for _, z := range zs {
+		for _, j := range z {
+			if seen[j] {
+				t.Fatalf("cluster %d owned twice", j)
+			}
+			seen[j] = true
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("covered %d of 16 clusters", len(seen))
+	}
+	// More peers than clusters: some Z_i empty, all clusters covered.
+	zs = ResponsibilityPartition(2, 5)
+	count := 0
+	for _, z := range zs {
+		count += len(z)
+	}
+	if count != 2 {
+		t.Errorf("clusters covered = %d", count)
+	}
+}
+
+func runCXK(t testing.TB, corpus *txn.Corpus, k, m int, seed int64) *Result {
+	t.Helper()
+	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+	res, err := Run(cx, corpus, Options{
+		K: k, Params: cx.Params, Peers: m,
+		Partition: EqualPartition(len(corpus.Transactions), m, seed),
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// bestOverSeeds runs a few seeds and returns the best F-measure result —
+// centroid seeding is luck-sensitive (the paper averages 10 runs); accuracy
+// assertions care that the algorithm *can* separate the data.
+func bestOverSeeds(t testing.TB, corpus *txn.Corpus, labels []int, k, m int) (*Result, float64) {
+	t.Helper()
+	var best *Result
+	bestF := -1.0
+	for seed := int64(1); seed <= 5; seed++ {
+		res := runCXK(t, corpus, k, m, seed)
+		if f := eval.FMeasure(labels, res.Assign, k); f > bestF {
+			bestF, best = f, res
+		}
+	}
+	return best, bestF
+}
+
+func TestSinglePeerMatchesCentralizedShape(t *testing.T) {
+	corpus, labels := miniCorpus(t, 6)
+	res, f := bestOverSeeds(t, corpus, labels, 2, 1)
+	if res.Rounds == 0 || res.Rounds > DefaultMaxRounds {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	if len(res.Assign) != len(corpus.Transactions) {
+		t.Fatalf("assign length %d", len(res.Assign))
+	}
+	if f < 0.9 {
+		t.Errorf("centralized F = %v on separable data", f)
+	}
+	// No communication for m=1.
+	msgs, bytes := res.TotalTraffic()
+	if msgs != 0 || bytes != 0 {
+		t.Errorf("m=1 traffic: %d msgs %d bytes", msgs, bytes)
+	}
+}
+
+func TestMultiPeerTerminatesAndClusters(t *testing.T) {
+	corpus, labels := miniCorpus(t, 8)
+	for _, m := range []int{2, 3, 5} {
+		res, f := bestOverSeeds(t, corpus, labels, 2, m)
+		if res.Rounds == 0 || res.Rounds > DefaultMaxRounds {
+			t.Fatalf("m=%d rounds = %d", m, res.Rounds)
+		}
+		if f < 0.6 {
+			t.Errorf("m=%d F = %v too low", m, f)
+		}
+		msgs, bytes := res.TotalTraffic()
+		if msgs == 0 || bytes == 0 {
+			t.Errorf("m=%d produced no traffic", m)
+		}
+	}
+}
+
+func TestEveryTransactionAssignedOrTrash(t *testing.T) {
+	corpus, _ := miniCorpus(t, 5)
+	res := runCXK(t, corpus, 2, 3, 4)
+	for i, a := range res.Assign {
+		if a != cluster.TrashCluster && (a < 0 || a >= 2) {
+			t.Errorf("transaction %d has invalid assignment %d", i, a)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	corpus, _ := miniCorpus(t, 6)
+	a := runCXK(t, corpus, 2, 3, 9)
+	b := runCXK(t, corpus, 2, 3, 9)
+	if a.Rounds != b.Rounds {
+		t.Errorf("rounds differ: %d vs %d", a.Rounds, b.Rounds)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestMorePeersThanClusters(t *testing.T) {
+	corpus, _ := miniCorpus(t, 6)
+	res := runCXK(t, corpus, 2, 5, 5) // 5 peers, 2 clusters: some Z_i empty
+	if res.Rounds == 0 {
+		t.Fatal("did not run")
+	}
+}
+
+func TestMorePeersThanTransactions(t *testing.T) {
+	corpus, _ := miniCorpus(t, 2) // 4 transactions
+	res := runCXK(t, corpus, 2, 6, 5)
+	if res.Rounds == 0 {
+		t.Fatal("did not run")
+	}
+	assigned := 0
+	for _, a := range res.Assign {
+		if a >= 0 {
+			assigned++
+		}
+	}
+	if assigned == 0 {
+		t.Error("nothing clustered")
+	}
+}
+
+func TestUnequalPartitionRun(t *testing.T) {
+	corpus, labels := miniCorpus(t, 8)
+	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+	bestF := -1.0
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := Run(cx, corpus, Options{
+			K: 2, Params: cx.Params, Peers: 4,
+			Partition: UnequalPartition(len(corpus.Transactions), 4, seed),
+			Seed:      seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := eval.FMeasure(labels, res.Assign, 2); f > bestF {
+			bestF = f
+		}
+	}
+	if bestF < 0.5 {
+		t.Errorf("unequal-split best F = %v", bestF)
+	}
+}
+
+func TestRunOverTCPTransport(t *testing.T) {
+	corpus, labels := miniCorpus(t, 5)
+	bestF := -1.0
+	var msgs, bytes int64
+	for seed := int64(1); seed <= 5; seed++ {
+		tr, err := p2p.NewTCPTransport(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+		res, err := Run(cx, corpus, Options{
+			K: 2, Params: cx.Params, Peers: 3,
+			Partition: EqualPartition(len(corpus.Transactions), 3, seed),
+			Seed:      seed, Transport: tr,
+		})
+		if err != nil {
+			tr.Close()
+			t.Fatal(err)
+		}
+		if f := eval.FMeasure(labels, res.Assign, 2); f > bestF {
+			bestF = f
+		}
+		m, b := tr.Stats()
+		msgs += m
+		bytes += b
+		tr.Close()
+	}
+	if bestF < 0.5 {
+		t.Errorf("TCP-run best F = %v", bestF)
+	}
+	if msgs == 0 || bytes == 0 {
+		t.Error("no TCP traffic recorded")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	corpus, _ := miniCorpus(t, 2)
+	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+	if _, err := Run(cx, corpus, Options{K: 2, Peers: 0}); err == nil {
+		t.Error("peers=0 should fail")
+	}
+	if _, err := Run(cx, corpus, Options{K: 0, Peers: 1}); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Run(cx, corpus, Options{K: 2, Peers: 2, Partition: make([][]int, 1)}); err == nil {
+		t.Error("partition mismatch should fail")
+	}
+}
+
+func TestSimulatedTimePositive(t *testing.T) {
+	corpus, _ := miniCorpus(t, 6)
+	res := runCXK(t, corpus, 2, 3, 8)
+	st := res.SimulatedTime(p2p.DefaultTimeModel())
+	if st <= 0 {
+		t.Errorf("simulated time = %v", st)
+	}
+	// Zero model: simulated time equals per-round max compute only.
+	st0 := res.SimulatedTime(p2p.TimeModel{})
+	if st0 <= 0 || st0 > st {
+		t.Errorf("compute-only time %v vs full %v", st0, st)
+	}
+}
+
+func TestPeerReportsConsistent(t *testing.T) {
+	corpus, _ := miniCorpus(t, 6)
+	res := runCXK(t, corpus, 2, 3, 8)
+	totalLocal := 0
+	for i := range res.Peers {
+		pr := &res.Peers[i]
+		totalLocal += pr.LocalTransactions
+		if len(pr.SentMsgsByRound) != len(pr.SentBytesByRound) {
+			t.Errorf("peer %d slices misaligned", i)
+		}
+		if pr.TotalCompute() <= 0 {
+			t.Errorf("peer %d no compute recorded", i)
+		}
+	}
+	if totalLocal != len(corpus.Transactions) {
+		t.Errorf("local transactions sum %d != %d", totalLocal, len(corpus.Transactions))
+	}
+	// Conservation: total sent messages equals total received messages.
+	var sent, recv int64
+	for i := range res.Peers {
+		for r := range res.Peers[i].SentMsgsByRound {
+			sent += res.Peers[i].SentMsgsByRound[r]
+			recv += res.Peers[i].RecvMsgsByRound[r]
+		}
+	}
+	if sent != recv {
+		t.Errorf("message conservation violated: sent=%d recv=%d", sent, recv)
+	}
+}
+
+func TestWireRoundtrip(t *testing.T) {
+	tr := txn.NewTransaction([]txn.ItemID{3, 1, 2}, 0, 0, -1)
+	w := toWire(tr)
+	back := fromWire(w)
+	if !tr.Equal(back) {
+		t.Errorf("wire roundtrip changed transaction: %v vs %v", tr.Items, back.Items)
+	}
+	if fromWire(toWire(nil)) != nil {
+		t.Error("nil roundtrip should stay nil")
+	}
+}
+
+func TestSizerPositive(t *testing.T) {
+	corpus, _ := miniCorpus(t, 2)
+	s := Sizer(corpus.Items)
+	msg := GlobalRepsMsg{Reps: map[int]WireTxn{0: toWire(corpus.Transactions[0])}}
+	if s(msg) <= 16 {
+		t.Errorf("global reps size = %d", s(msg))
+	}
+	if s(StartMsg{K: 4}) <= 0 {
+		t.Error("start msg size")
+	}
+	if s(LocalRepsMsg{}) <= 0 {
+		t.Error("local reps size")
+	}
+	if s(struct{}{}) != 64 {
+		t.Error("default size")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	a := []*txn.Transaction{txn.NewTransaction([]txn.ItemID{1, 2}, 0, 0, -1), nil}
+	b := []*txn.Transaction{txn.NewTransaction([]txn.ItemID{1, 3}, 0, 0, -1), nil}
+	c := []*txn.Transaction{nil, txn.NewTransaction([]txn.ItemID{1, 2}, 0, 0, -1)}
+	if fingerprintReps(a) == fingerprintReps(b) {
+		t.Error("different items same fingerprint")
+	}
+	if fingerprintReps(a) == fingerprintReps(c) {
+		t.Error("different positions same fingerprint")
+	}
+	if fingerprintReps(a) != fingerprintReps(a) {
+		t.Error("fingerprint unstable")
+	}
+}
+
+func BenchmarkCXKRunM3(b *testing.B) {
+	corpus, _ := miniCorpus(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCXK(b, corpus, 2, 3, int64(i))
+	}
+}
+
+// TestRunUnderMessageDelays shakes out ordering assumptions: random send
+// delays must change neither termination nor the result for a fixed seed
+// (aggregation is per-sender slotted, so arrival order is immaterial).
+func TestRunUnderMessageDelays(t *testing.T) {
+	corpus, _ := miniCorpus(t, 6)
+	baseline := runCXK(t, corpus, 2, 3, 4)
+	inner := p2p.NewChanTransport(3, Sizer(corpus.Items))
+	delayed := p2p.NewDelayTransport(inner, 2*time.Millisecond, 99)
+	defer delayed.Close()
+	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+	res, err := Run(cx, corpus, Options{
+		K: 2, Params: cx.Params, Peers: 3,
+		Partition: EqualPartition(len(corpus.Transactions), 3, 4),
+		Seed:      4, Transport: delayed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 || res.Rounds > DefaultMaxRounds {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+	for i := range res.Assign {
+		if res.Assign[i] != baseline.Assign[i] {
+			t.Fatalf("delays changed assignment %d: %d vs %d",
+				i, res.Assign[i], baseline.Assign[i])
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Protocol notes — the Fig. 5 message pattern as implemented.
+//
+// Startup. The orchestrator (playing node N₀, which the paper notes can be
+// any peer) computes the responsibility partition Z₁..Z_m of the cluster
+// ids and sends every peer a StartMsg. Peer i then selects q_i = |Z_i|
+// initial global representatives from its local transactions, drawn from
+// distinct source documents.
+//
+// Each round has four phases:
+//
+//	Phase 1  broadcast  — peer i sends {g_j | j ∈ Z_i} to every other peer
+//	                      and waits for the complementing m−1 messages, so
+//	                      each peer holds all k global representatives.
+//	Phase 2  local      — relocation against the fixed globals (zero
+//	                      similarity ⇒ trash cluster k+1) until the local
+//	                      assignment is a fixpoint, then one local
+//	                      representative ℓ_ij per non-empty cluster.
+//	Phase 3  exchange   — if no ℓ_ij changed (or the state revisits a
+//	                      previous fingerprint), peer i broadcasts an empty
+//	                      LocalRepsMsg with FlagDone; otherwise it sends
+//	                      each peer h the pairs {(ℓ_ij, |C_ij|) | j ∈ Z_h}.
+//	                      Every peer receives exactly m−1 LocalRepsMsg per
+//	                      round, so the pattern is symmetric and the rounds
+//	                      self-synchronize without a barrier.
+//	Phase 4  merge      — if any flag was FlagContinue, peer i recomputes
+//	                      g_j = ComputeGlobalRepresentative over the
+//	                      received weighted locals (in peer-id order, for
+//	                      reproducibility) for each j ∈ Z_i. If all m flags
+//	                      were FlagDone the loop terminates — the flags are
+//	                      identical at every peer, so termination is
+//	                      consistent.
+//
+// Message reordering. A peer may run one phase ahead of a slow neighbour;
+// nextGlobal/nextLocal buffer out-of-phase envelopes per (round, type), so
+// the protocol tolerates any interleaving a FIFO-per-pair transport can
+// produce (exercised by the DelayTransport robustness test).
+//
+// Accounting. Every peer records, per round: compute time (optionally
+// serialized across peers via a token so measurements are not polluted by
+// host-core oversubscription), modeled sent/received bytes and message
+// counts. Result.SimulatedTime folds these into the paper's runtime
+// metric: Σ_rounds (max_i compute + max_i wire-time).
+package core

@@ -1,0 +1,133 @@
+// Package core implements CXK-means (Fig. 5 of the paper): the
+// collaborative distributed clustering of XML transactions over a P2P
+// network. Every peer clusters its local transactions against the k global
+// representatives, computes local cluster representatives, and exchanges
+// them so that the peers responsible for each cluster can compute the
+// global representatives collaboratively.
+package core
+
+import (
+	"xmlclust/internal/p2p"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/vector"
+)
+
+// WireTxn is the transport representation of a (representative)
+// transaction. In-process deployments share the interning tables, so item
+// ids suffice on the wire; ModeledSize accounts for the full semantic
+// payload (paths, answers, TCU vectors) that a cross-machine deployment
+// would ship, matching the paper's cost model O(|tr|·(|u|+depth)).
+type WireTxn struct {
+	Items []txn.ItemID
+}
+
+// StartMsg is the trivial startup message of node N0: the partition of the
+// cluster identifiers {1..k} into responsibility sets Z_1..Z_m, plus the
+// clustering parameters.
+type StartMsg struct {
+	Zs    [][]int
+	K     int
+	F     float64
+	Gamma float64
+}
+
+// GlobalRepsMsg broadcasts the global representatives a peer is responsible
+// for at the start of every round.
+type GlobalRepsMsg struct {
+	From  int
+	Round int
+	// Reps maps cluster id → representative.
+	Reps map[int]WireTxn
+}
+
+// Flag is a peer's per-round state signal.
+type Flag uint8
+
+const (
+	// FlagContinue signals that the peer's local representatives changed.
+	FlagContinue Flag = iota
+	// FlagDone signals a stable local clustering.
+	FlagDone
+)
+
+// LocalRepsMsg carries a peer's local representatives (with cluster sizes
+// as weights) for the clusters the destination peer is responsible for —
+// or an empty broadcast when the peer is done.
+type LocalRepsMsg struct {
+	From  int
+	Round int
+	Flag  Flag
+	// Reps maps cluster id → (representative, |C_i_j|).
+	Reps map[int]WeightedWireRep
+}
+
+// WeightedWireRep pairs a representative with its local cluster size.
+type WeightedWireRep struct {
+	Rep    WireTxn
+	Weight int
+}
+
+func init() {
+	p2p.RegisterWireType(StartMsg{})
+	p2p.RegisterWireType(GlobalRepsMsg{})
+	p2p.RegisterWireType(LocalRepsMsg{})
+}
+
+// toWire converts a transaction (nil-safe).
+func toWire(tr *txn.Transaction) WireTxn {
+	if tr == nil {
+		return WireTxn{}
+	}
+	return WireTxn{Items: append([]txn.ItemID(nil), tr.Items...)}
+}
+
+// fromWire rebuilds a transaction (nil for the empty wire form).
+func fromWire(w WireTxn) *txn.Transaction {
+	if len(w.Items) == 0 {
+		return nil
+	}
+	return txn.NewTransaction(w.Items, -1, -1, -1)
+}
+
+// WireTxnSize models the semantic wire size of a representative: each item
+// costs its dotted path length + answer length + 12 bytes per sparse vector
+// entry (term id + weight), mirroring the O(|trmax|·(|umax|+depth))
+// transfer-cost bound of Sect. 4.3.3.
+func WireTxnSize(items *txn.ItemTable, w WireTxn) int64 {
+	n := int64(8)
+	for _, id := range w.Items {
+		it := items.Get(id)
+		n += int64(len(it.Answer)) + 8
+		n += int64(len(items.Paths().Path(it.Path).String()))
+		n += vectorBytes(it.Vector)
+	}
+	return n
+}
+
+// Sizer returns a p2p.Sizer that models wire sizes for the core message
+// types against the given item table.
+func Sizer(items *txn.ItemTable) p2p.Sizer {
+	return func(payload any) int64 {
+		switch m := payload.(type) {
+		case StartMsg:
+			return int64(16 + 8*m.K)
+		case GlobalRepsMsg:
+			n := int64(16)
+			for _, r := range m.Reps {
+				n += 8 + WireTxnSize(items, r)
+			}
+			return n
+		case LocalRepsMsg:
+			n := int64(17)
+			for _, r := range m.Reps {
+				n += 16 + WireTxnSize(items, r.Rep)
+			}
+			return n
+		default:
+			return 64
+		}
+	}
+}
+
+// vectorBytes models the cost of shipping a sparse TCU vector.
+func vectorBytes(v vector.Sparse) int64 { return int64(12 * v.Len()) }

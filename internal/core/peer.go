@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xmlclust/internal/cluster"
+	"xmlclust/internal/p2p"
+	"xmlclust/internal/sim"
+	"xmlclust/internal/txn"
+)
+
+// peerState is the per-peer process N_i of Fig. 5.
+type peerState struct {
+	id        int
+	cx        *sim.Context
+	local     []*txn.Transaction // S_i
+	globalIdx []int              // corpus index of each local transaction
+	transport p2p.Transport
+	sizer     p2p.Sizer
+	maxRounds int
+	seed      int64
+	rule      cluster.ReturnRule
+	// computeToken, when non-nil, serializes compute sections across peers
+	// so per-peer timings stay clean on oversubscribed hosts.
+	computeToken chan struct{}
+
+	// Protocol state.
+	k          int
+	zs         [][]int
+	zi         []int
+	global     []*txn.Transaction // g_1..g_k
+	localRp    []*txn.Transaction // ℓ_i1..ℓ_ik
+	newLocalRp []*txn.Transaction // scratch for the current round
+	sizes      []int              // |C_i_j|
+	assign     []int              // local assignment
+	rounds     int
+	report     PeerReport
+	// seenStates fingerprints past local-representative states. Fig. 5
+	// terminates on exact representative stability; greedy representative
+	// refinement can cycle through a short orbit of states instead of
+	// reaching a fixpoint, so a revisited state is treated as stable
+	// (guaranteeing termination without changing converged results).
+	seenStates map[uint64]struct{}
+
+	// Message reordering buffers: peers may run ahead by one phase, so
+	// envelopes are buffered per (round, type).
+	pendGlobal map[int][]GlobalRepsMsg
+	pendLocal  map[int][]LocalRepsMsg
+}
+
+func (p *peerState) run() error {
+	p.pendGlobal = map[int][]GlobalRepsMsg{}
+	p.pendLocal = map[int][]LocalRepsMsg{}
+	p.seenStates = map[uint64]struct{}{}
+
+	// Receive N0's startup message.
+	env := <-p.transport.Recv(p.id)
+	startMsg, ok := env.Payload.(StartMsg)
+	if !ok {
+		return fmt.Errorf("expected StartMsg, got %T", env.Payload)
+	}
+	p.recvAccount(0, env)
+	p.k = startMsg.K
+	p.zs = startMsg.Zs
+	p.zi = startMsg.Zs[p.id]
+
+	p.global = make([]*txn.Transaction, p.k)
+	p.localRp = make([]*txn.Transaction, p.k)
+	p.sizes = make([]int, p.k)
+	p.assign = make([]int, len(p.local))
+	for i := range p.assign {
+		p.assign[i] = cluster.TrashCluster
+	}
+
+	// Select q_i initial global representatives from distinct local trees.
+	rng := rand.New(rand.NewSource(p.seed))
+	for idx, tr := range cluster.SelectInitial(p.local, len(p.zi), rng) {
+		p.global[p.zi[idx]] = tr
+	}
+
+	m := p.transport.Peers()
+	repCfg := cluster.RepConfig{Ctx: p.cx, Rule: p.rule}
+
+	for round := 0; round < p.maxRounds; round++ {
+		p.rounds = round + 1
+		p.growRound(round)
+
+		// Phase 1 — broadcast the global representatives this peer is
+		// responsible for, then collect everyone else's.
+		own := map[int]WireTxn{}
+		for _, j := range p.zi {
+			own[j] = toWire(p.global[j])
+		}
+		for h := 0; h < m; h++ {
+			if h == p.id {
+				continue
+			}
+			p.send(round, h, GlobalRepsMsg{From: p.id, Round: round, Reps: own})
+		}
+		for received := 0; received < m-1; {
+			msg, err := p.nextGlobal(round)
+			if err != nil {
+				return err
+			}
+			for j, w := range msg.Reps {
+				p.global[j] = fromWire(w)
+			}
+			received++
+		}
+
+		// Phase 2 — local relocation loop against the fixed globals.
+		p.compute(round, func() {
+			for {
+				assign := cluster.Relocate(p.cx, p.local, p.global)
+				if intsEqual(assign, p.assign) {
+					break
+				}
+				p.assign = assign
+			}
+			members := make([][]*txn.Transaction, p.k)
+			for i, a := range p.assign {
+				if a >= 0 {
+					members[a] = append(members[a], p.local[i])
+				}
+			}
+			for j := 0; j < p.k; j++ {
+				p.sizes[j] = len(members[j])
+				if len(members[j]) == 0 {
+					p.newLocalRp[j] = nil
+					continue
+				}
+				p.newLocalRp[j] = cluster.ComputeLocalRepresentative(repCfg, members[j])
+			}
+		})
+		changed := !repSliceEqual(p.newLocalRp, p.localRp)
+		copy(p.localRp, p.newLocalRp)
+		if changed {
+			fp := fingerprintReps(p.localRp)
+			if _, cycle := p.seenStates[fp]; cycle {
+				changed = false
+			}
+			p.seenStates[fp] = struct{}{}
+		}
+
+		// Phase 3 — exchange local representatives (or a done broadcast).
+		flag := FlagContinue
+		if !changed {
+			flag = FlagDone
+		}
+		for h := 0; h < m; h++ {
+			if h == p.id {
+				continue
+			}
+			msg := LocalRepsMsg{From: p.id, Round: round, Flag: flag}
+			if changed {
+				reps := map[int]WeightedWireRep{}
+				for _, j := range p.zs[h] {
+					if p.localRp[j] != nil {
+						reps[j] = WeightedWireRep{Rep: toWire(p.localRp[j]), Weight: p.sizes[j]}
+					}
+				}
+				msg.Reps = reps
+			}
+			p.send(round, h, msg)
+		}
+
+		// Collect the other peers' local representatives for own clusters.
+		// Per-sender slots keep the representative input order deterministic
+		// regardless of message arrival order (reproducibility for a fixed
+		// seed; floating-point aggregation is order-sensitive).
+		bySender := make([]map[int]WeightedWireRep, m)
+		anyContinue := changed
+		for received := 0; received < m-1; {
+			msg, err := p.nextLocal(round)
+			if err != nil {
+				return err
+			}
+			if msg.Flag == FlagContinue {
+				anyContinue = true
+			}
+			bySender[msg.From] = msg.Reps
+			received++
+		}
+
+		if !anyContinue {
+			break // V_1 = … = V_m = done
+		}
+
+		// Phase 4 — compute the global representatives for own clusters
+		// from the m local representatives in peer-id order.
+		p.compute(round, func() {
+			for _, j := range p.zi {
+				var reps []cluster.WeightedRep
+				for h := 0; h < m; h++ {
+					if h == p.id {
+						if p.localRp[j] != nil {
+							reps = append(reps, cluster.WeightedRep{Rep: p.localRp[j], Weight: p.sizes[j]})
+						}
+						continue
+					}
+					if wr, ok := bySender[h][j]; ok {
+						reps = append(reps, cluster.WeightedRep{Rep: fromWire(wr.Rep), Weight: wr.Weight})
+					}
+				}
+				if len(reps) == 0 {
+					continue // keep the previous global representative
+				}
+				if g := cluster.ComputeGlobalRepresentative(repCfg, reps); g != nil {
+					p.global[j] = g
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// growRound ensures the per-round accounting slices cover the given round.
+// Idempotent: messages can arrive one phase ahead of the local round.
+func (p *peerState) growRound(round int) {
+	for len(p.report.ComputeByRound) <= round {
+		p.report.ComputeByRound = append(p.report.ComputeByRound, 0)
+		p.report.SentBytesByRound = append(p.report.SentBytesByRound, 0)
+		p.report.RecvBytesByRound = append(p.report.RecvBytesByRound, 0)
+		p.report.SentMsgsByRound = append(p.report.SentMsgsByRound, 0)
+		p.report.RecvMsgsByRound = append(p.report.RecvMsgsByRound, 0)
+	}
+	p.report.LocalTransactions = len(p.local)
+	if p.newLocalRp == nil {
+		p.newLocalRp = make([]*txn.Transaction, p.k)
+	}
+}
+
+// compute runs fn under the optional compute token, accounting its wall
+// time to the given round.
+func (p *peerState) compute(round int, fn func()) {
+	if p.computeToken != nil {
+		<-p.computeToken
+		defer func() { p.computeToken <- struct{}{} }()
+	}
+	t0 := time.Now()
+	fn()
+	p.report.ComputeByRound[round] += time.Since(t0)
+}
+
+func (p *peerState) send(round, to int, payload any) {
+	if err := p.transport.Send(p.id, to, payload); err != nil {
+		// Transport failures surface on the receive side as missing
+		// messages; record and continue (channel transport never fails).
+		return
+	}
+	p.report.SentMsgsByRound[round]++
+	p.report.SentBytesByRound[round] += p.sizer(payload)
+}
+
+func (p *peerState) recvAccount(round int, env p2p.Envelope) {
+	if round < 0 || p.k == 0 {
+		return // startup message, before the protocol state exists
+	}
+	p.growRound(round)
+	p.report.RecvMsgsByRound[round]++
+	p.report.RecvBytesByRound[round] += p.sizer(env.Payload)
+}
+
+// nextGlobal returns the next GlobalRepsMsg for the given round, buffering
+// out-of-phase messages.
+func (p *peerState) nextGlobal(round int) (GlobalRepsMsg, error) {
+	if q := p.pendGlobal[round]; len(q) > 0 {
+		msg := q[0]
+		p.pendGlobal[round] = q[1:]
+		return msg, nil
+	}
+	for env := range p.transport.Recv(p.id) {
+		switch msg := env.Payload.(type) {
+		case GlobalRepsMsg:
+			p.recvAccount(msg.Round, env)
+			if msg.Round == round {
+				return msg, nil
+			}
+			p.pendGlobal[msg.Round] = append(p.pendGlobal[msg.Round], msg)
+		case LocalRepsMsg:
+			p.recvAccount(msg.Round, env)
+			p.pendLocal[msg.Round] = append(p.pendLocal[msg.Round], msg)
+		default:
+			return GlobalRepsMsg{}, fmt.Errorf("unexpected message %T", env.Payload)
+		}
+	}
+	return GlobalRepsMsg{}, fmt.Errorf("transport closed while awaiting global reps")
+}
+
+// nextLocal returns the next LocalRepsMsg for the given round.
+func (p *peerState) nextLocal(round int) (LocalRepsMsg, error) {
+	if q := p.pendLocal[round]; len(q) > 0 {
+		msg := q[0]
+		p.pendLocal[round] = q[1:]
+		return msg, nil
+	}
+	for env := range p.transport.Recv(p.id) {
+		switch msg := env.Payload.(type) {
+		case LocalRepsMsg:
+			p.recvAccount(msg.Round, env)
+			if msg.Round == round {
+				return msg, nil
+			}
+			p.pendLocal[msg.Round] = append(p.pendLocal[msg.Round], msg)
+		case GlobalRepsMsg:
+			p.recvAccount(msg.Round, env)
+			p.pendGlobal[msg.Round] = append(p.pendGlobal[msg.Round], msg)
+		default:
+			return LocalRepsMsg{}, fmt.Errorf("unexpected message %T", env.Payload)
+		}
+	}
+	return LocalRepsMsg{}, fmt.Errorf("transport closed while awaiting local reps")
+}
+
+// globalRepsSnapshot returns the final global representatives as seen by
+// this peer (all peers converge to the same set on termination).
+func (p *peerState) globalRepsSnapshot() []*txn.Transaction {
+	return append([]*txn.Transaction(nil), p.global...)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprintReps hashes a representative slice (FNV-1a over item ids and
+// separators) for cycle detection.
+func fingerprintReps(reps []*txn.Transaction) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	for _, rep := range reps {
+		mix(^uint64(0)) // cluster separator
+		if rep == nil {
+			continue
+		}
+		for _, id := range rep.Items {
+			mix(uint64(id))
+		}
+	}
+	return h
+}
+
+func repSliceEqual(a, b []*txn.Transaction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		switch {
+		case a[i] == nil && b[i] == nil:
+		case a[i] == nil || b[i] == nil:
+			return false
+		case !a[i].Equal(b[i]):
+			return false
+		}
+	}
+	return true
+}

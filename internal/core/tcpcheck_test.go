@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"xmlclust/internal/eval"
+	"xmlclust/internal/p2p"
+	"xmlclust/internal/sim"
+)
+
+func TestChanVsTCPEquivalence(t *testing.T) {
+	corpus, labels := miniCorpus(t, 5)
+	for seed := int64(1); seed <= 5; seed++ {
+		chanRes := runCXK(t, corpus, 2, 3, seed)
+		fChan := eval.FMeasure(labels, chanRes.Assign, 2)
+		tr, err := p2p.NewTCPTransport(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+		tcpRes, err := Run(cx, corpus, Options{
+			K: 2, Params: cx.Params, Peers: 3,
+			Partition: EqualPartition(len(corpus.Transactions), 3, seed),
+			Seed:      seed, Transport: tr,
+		})
+		tr.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fTCP := eval.FMeasure(labels, tcpRes.Assign, 2)
+		t.Logf("seed=%d F(chan)=%.3f F(tcp)=%.3f rounds=%d/%d", seed, fChan, fTCP, chanRes.Rounds, tcpRes.Rounds)
+	}
+}

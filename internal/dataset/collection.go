@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"fmt"
+
+	"xmlclust/internal/tuple"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/weighting"
+	"xmlclust/internal/xmltree"
+)
+
+// ClassKind selects which reference classification labels a corpus build.
+type ClassKind int
+
+const (
+	// ByContent uses the topical classes (content-driven clustering,
+	// f ∈ [0,0.3]).
+	ByContent ClassKind = iota
+	// ByStructure uses the structural classes (f ∈ [0.7,1]).
+	ByStructure
+	// ByHybrid uses the combined classes (f ∈ [0.4,0.6]).
+	ByHybrid
+)
+
+func (k ClassKind) String() string {
+	switch k {
+	case ByContent:
+		return "content"
+	case ByStructure:
+		return "structure"
+	case ByHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("ClassKind(%d)", int(k))
+}
+
+// Collection is a generated corpus with its three reference
+// classifications.
+type Collection struct {
+	Name  string
+	Trees []*xmltree.Tree
+	// Per-document labels for each classification.
+	StructLabels, ContentLabels, HybridLabels []int
+	// Class counts (the paper's "# of clusters" column per setting).
+	NumStruct, NumContent, NumHybrid int
+}
+
+// Labels returns the per-document labels and class count for a kind.
+func (c *Collection) Labels(kind ClassKind) ([]int, int) {
+	switch kind {
+	case ByStructure:
+		return c.StructLabels, c.NumStruct
+	case ByHybrid:
+		return c.HybridLabels, c.NumHybrid
+	default:
+		return c.ContentLabels, c.NumContent
+	}
+}
+
+// K returns the reference class count for a kind — the k fed to the
+// clustering algorithms in the paper's tables.
+func (c *Collection) K(kind ClassKind) int {
+	_, k := c.Labels(kind)
+	return k
+}
+
+// Spec scales a generator.
+type Spec struct {
+	// Docs is the number of documents; 0 selects the generator default.
+	Docs int
+	// Seed drives all randomness; equal specs generate equal corpora.
+	Seed int64
+	// MaxTuplesPerTree caps tuple extraction (0 = generator default).
+	MaxTuplesPerTree int
+}
+
+func (s Spec) docsOr(def int) int {
+	if s.Docs > 0 {
+		return s.Docs
+	}
+	return def
+}
+
+// BuildCorpus turns a collection into a weighted transactional corpus whose
+// transactions carry the labels of the requested classification.
+func (c *Collection) BuildCorpus(kind ClassKind, maxTuples int) *txn.Corpus {
+	labels, _ := c.Labels(kind)
+	corpus := txn.Build(c.Trees, txn.BuildOptions{
+		Tuple:  tuple.Options{MaxTuplesPerTree: maxTuples},
+		Labels: labels,
+	})
+	weighting.Apply(corpus)
+	return corpus
+}
+
+// TransactionLabels extracts the per-transaction ground truth from a corpus
+// built by BuildCorpus.
+func TransactionLabels(corpus *txn.Corpus) []int {
+	out := make([]int, len(corpus.Transactions))
+	for i, tr := range corpus.Transactions {
+		out[i] = tr.Label
+	}
+	return out
+}
+
+// Generator names a corpus builder; used by the CLI tools and the
+// experiment harness.
+type Generator func(Spec) *Collection
+
+// ByName returns the generator for a paper corpus name.
+func ByName(name string) (Generator, bool) {
+	switch name {
+	case "dblp", "DBLP":
+		return DBLP, true
+	case "ieee", "IEEE":
+		return IEEE, true
+	case "shakespeare", "Shakespeare":
+		return Shakespeare, true
+	case "wikipedia", "Wikipedia":
+		return Wikipedia, true
+	}
+	return nil, false
+}
+
+// Names lists the four paper corpora.
+func Names() []string { return []string{"DBLP", "IEEE", "Shakespeare", "Wikipedia"} }

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmlclust/internal/xmltree"
+)
+
+// DBLP structural categories (Sect. 5.2: "journal articles", "conference
+// papers", "books", "book chapters").
+const (
+	dblpArticle = iota
+	dblpInproceedings
+	dblpBook
+	dblpIncollection
+)
+
+var dblpStructNames = []string{"article", "inproceedings", "book", "incollection"}
+
+// dblpTopics are the six topical classes of the paper's DBLP subset.
+const dblpNumTopics = 6
+
+// dblpHybrid enumerates the 16 observed structure×topic combinations
+// (article and inproceedings span all six topics; book and incollection
+// two each), matching the paper's 16 hybrid classes.
+var dblpHybrid = func() [][2]int {
+	var combos [][2]int
+	for t := 0; t < dblpNumTopics; t++ {
+		combos = append(combos, [2]int{dblpArticle, t})
+	}
+	for t := 0; t < dblpNumTopics; t++ {
+		combos = append(combos, [2]int{dblpInproceedings, t})
+	}
+	combos = append(combos, [2]int{dblpBook, 0}, [2]int{dblpBook, 3})
+	combos = append(combos, [2]int{dblpIncollection, 1}, [2]int{dblpIncollection, 4})
+	return combos
+}()
+
+// DBLP generates the bibliographic corpus: one record per document, short
+// text fields, 1–3 authors per record (so records yield 1–3 tree tuples,
+// reproducing the ~2 transactions/document ratio of the real subset).
+// Venue names repeat verbatim within a topical community and authorship is
+// community-correlated, as in the real archive.
+func DBLP(spec Spec) *Collection {
+	docs := spec.docsOr(240)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	topics := newTopicSet(dblpNumTopics, 70, 200, 0.85, rng)
+	names := newNameGen(rng)
+	venues := make([]*phrasePool, dblpNumTopics)
+	authors := make([]*namePool, dblpNumTopics)
+	for t := 0; t < dblpNumTopics; t++ {
+		venues[t] = newPhrasePool(topics.gen(t).topic, 3, 3, rng)
+		authors[t] = newNamePool(20, names, rng)
+	}
+
+	c := &Collection{
+		Name:       "DBLP",
+		NumStruct:  len(dblpStructNames),
+		NumContent: dblpNumTopics,
+		NumHybrid:  len(dblpHybrid),
+	}
+	for i := 0; i < docs; i++ {
+		combo := dblpHybrid[i%len(dblpHybrid)]
+		s, t := combo[0], combo[1]
+		c.StructLabels = append(c.StructLabels, s)
+		c.ContentLabels = append(c.ContentLabels, t)
+		c.HybridLabels = append(c.HybridLabels, i%len(dblpHybrid))
+		c.Trees = append(c.Trees, dblpDoc(rng, topics, venues[t], authors[t], s, t, i))
+	}
+	return c
+}
+
+func dblpDoc(rng *rand.Rand, topics *topicSet, venues *phrasePool, authors *namePool, s, t, idx int) *xmltree.Tree {
+	tree := xmltree.NewTree("dblp")
+	rec := tree.AddElement(tree.Root, dblpStructNames[s])
+	tree.AddAttribute(rec, "key", docKey(dblpStructNames[s], idx))
+
+	nAuthors := 1 + rng.Intn(3)
+	for a := 0; a < nAuthors; a++ {
+		au := tree.AddElement(rec, "author")
+		tree.AddText(au, authors.name(rng))
+	}
+	title := tree.AddElement(rec, "title")
+	tree.AddText(title, topics.gen(t).text(8+rng.Intn(5), rng))
+	year := tree.AddElement(rec, "year")
+	tree.AddText(year, fmt.Sprintf("%d", 1995+rng.Intn(15)))
+
+	switch s {
+	case dblpArticle:
+		j := tree.AddElement(rec, "journal")
+		tree.AddText(j, "journal of "+venues.pick(rng))
+		v := tree.AddElement(rec, "volume")
+		tree.AddText(v, fmt.Sprintf("%d", 1+rng.Intn(40)))
+		p := tree.AddElement(rec, "pages")
+		tree.AddText(p, pageRange(rng))
+	case dblpInproceedings:
+		b := tree.AddElement(rec, "booktitle")
+		tree.AddText(b, "proceedings of "+venues.pick(rng))
+		p := tree.AddElement(rec, "pages")
+		tree.AddText(p, pageRange(rng))
+	case dblpBook:
+		pub := tree.AddElement(rec, "publisher")
+		tree.AddText(pub, "press of "+venues.pick(rng))
+		isbn := tree.AddElement(rec, "isbn")
+		tree.AddText(isbn, fmt.Sprintf("%d-%d", 100+rng.Intn(900), 1000+rng.Intn(9000)))
+	case dblpIncollection:
+		b := tree.AddElement(rec, "booktitle")
+		tree.AddText(b, "handbook of "+venues.pick(rng))
+		ch := tree.AddElement(rec, "chapter")
+		tree.AddText(ch, fmt.Sprintf("%d", 1+rng.Intn(20)))
+	}
+	return tree
+}
+
+func pageRange(rng *rand.Rand) string {
+	lo := 1 + rng.Intn(400)
+	return fmt.Sprintf("%d-%d", lo, lo+5+rng.Intn(20))
+}

@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"xmlclust/internal/xmltree"
+)
+
+// wikiNumTopics matches the 21 thematic categories (Wikipedia portals) of
+// the INEX 2007 corpus subset (Sect. 5.2).
+const wikiNumTopics = 21
+
+// Wikipedia generates the encyclopedia corpus: long articles over a
+// homogeneous structure, so only content-driven clustering is meaningful
+// (as in the paper); the structural classification is the single class 0.
+func Wikipedia(spec Spec) *Collection {
+	docs := spec.docsOr(210)
+	rng := rand.New(rand.NewSource(spec.Seed))
+	topics := newTopicSet(wikiNumTopics, 100, 400, 0.8, rng)
+	categories := make([]*phrasePool, wikiNumTopics)
+	for t := 0; t < wikiNumTopics; t++ {
+		categories[t] = newPhrasePool(topics.gen(t).topic, 3, 2, rng)
+	}
+
+	c := &Collection{
+		Name:       "Wikipedia",
+		NumStruct:  1,
+		NumContent: wikiNumTopics,
+		NumHybrid:  wikiNumTopics,
+	}
+	for i := 0; i < docs; i++ {
+		t := i % wikiNumTopics
+		c.StructLabels = append(c.StructLabels, 0)
+		c.ContentLabels = append(c.ContentLabels, t)
+		c.HybridLabels = append(c.HybridLabels, t)
+		c.Trees = append(c.Trees, wikiDoc(rng, topics, categories[t], t, i))
+	}
+	return c
+}
+
+func wikiDoc(rng *rand.Rand, topics *topicSet, cats *phrasePool, t, idx int) *xmltree.Tree {
+	g := topics.gen(t)
+	tree := xmltree.NewTree("article")
+	tree.AddAttribute(tree.Root, "id", docKey("wiki", idx))
+	name := tree.AddElement(tree.Root, "name")
+	tree.AddText(name, g.text(2+rng.Intn(2), rng))
+	// Portal categories: the thematic organization of the INEX corpus is
+	// by Wikipedia portal, which articles reference verbatim.
+	for c := 0; c < 2; c++ {
+		cat := tree.AddElement(tree.Root, "category")
+		tree.AddText(cat, "portal "+cats.pick(rng))
+	}
+	body := tree.AddElement(tree.Root, "body")
+	intro := tree.AddElement(body, "p")
+	tree.AddText(intro, g.text(30+rng.Intn(12), rng))
+	for s := 0; s < 2+rng.Intn(3); s++ {
+		sec := tree.AddElement(body, "section")
+		h := tree.AddElement(sec, "title")
+		tree.AddText(h, g.text(2+rng.Intn(2), rng))
+		for p := 0; p < 1+rng.Intn(2); p++ {
+			par := tree.AddElement(sec, "p")
+			tree.AddText(par, g.text(28+rng.Intn(12), rng))
+		}
+	}
+	return tree
+}

@@ -1,0 +1,187 @@
+// Package eval implements the cluster validity measures of Sect. 5.3: the
+// overall F-measure against a reference classification (the weighted sum of
+// the per-class maximum F scores), plus the standard purity and normalized
+// mutual information measures used by the extended diagnostics.
+package eval
+
+import "math"
+
+// Contingency holds the cluster-vs-class co-occurrence counts for a
+// clustering C = {C_1..C_K} against a reference Γ = {Γ_1..Γ_H} over a set
+// of transactions. Unassigned objects (negative labels or assignments) are
+// excluded from clusters but classes keep their full size, penalizing
+// trash-heavy clusterings through recall, exactly as |Γ_i| appears in the
+// paper's formula.
+type Contingency struct {
+	N          int     // objects with a valid reference label
+	ClassSize  []int   // |Γ_i|
+	ClusterSz  []int   // |C_j| (labeled members only)
+	CoOccur    [][]int // [class][cluster]
+	NumClass   int
+	NumCluster int
+}
+
+// NewContingency builds the table from per-object labels and assignments.
+// labels[i] is the reference class of object i (negative = unlabeled);
+// assign[i] is its cluster (negative = trash/unassigned). numCluster must
+// be ≥ 1 + max(assign).
+func NewContingency(labels, assign []int, numCluster int) *Contingency {
+	numClass := 0
+	for _, l := range labels {
+		if l+1 > numClass {
+			numClass = l + 1
+		}
+	}
+	c := &Contingency{
+		ClassSize:  make([]int, numClass),
+		ClusterSz:  make([]int, numCluster),
+		NumClass:   numClass,
+		NumCluster: numCluster,
+	}
+	c.CoOccur = make([][]int, numClass)
+	for i := range c.CoOccur {
+		c.CoOccur[i] = make([]int, numCluster)
+	}
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		c.N++
+		c.ClassSize[l]++
+		if i < len(assign) && assign[i] >= 0 && assign[i] < numCluster {
+			c.ClusterSz[assign[i]]++
+			c.CoOccur[l][assign[i]]++
+		}
+	}
+	return c
+}
+
+// FMeasure computes the overall F-measure (Sect. 5.3):
+//
+//	F(C,Γ) = 1/|S| · Σ_i |Γ_i| · max_j F_ij
+//
+// with F_ij the harmonic mean of precision |C_j∩Γ_i|/|C_j| and recall
+// |C_j∩Γ_i|/|Γ_i|.
+func (c *Contingency) FMeasure() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < c.NumClass; i++ {
+		if c.ClassSize[i] == 0 {
+			continue
+		}
+		best := 0.0
+		for j := 0; j < c.NumCluster; j++ {
+			inter := c.CoOccur[i][j]
+			if inter == 0 || c.ClusterSz[j] == 0 {
+				continue
+			}
+			p := float64(inter) / float64(c.ClusterSz[j])
+			r := float64(inter) / float64(c.ClassSize[i])
+			f := 2 * p * r / (p + r)
+			if f > best {
+				best = f
+			}
+		}
+		total += float64(c.ClassSize[i]) * best
+	}
+	return total / float64(c.N)
+}
+
+// Purity is the fraction of clustered objects that belong to their
+// cluster's majority class.
+func (c *Contingency) Purity() float64 {
+	clustered := 0
+	agree := 0
+	for j := 0; j < c.NumCluster; j++ {
+		clustered += c.ClusterSz[j]
+		best := 0
+		for i := 0; i < c.NumClass; i++ {
+			if c.CoOccur[i][j] > best {
+				best = c.CoOccur[i][j]
+			}
+		}
+		agree += best
+	}
+	if clustered == 0 {
+		return 0
+	}
+	return float64(agree) / float64(clustered)
+}
+
+// NMI computes the normalized mutual information between the clustering
+// and the reference classes over the clustered objects, normalized by the
+// arithmetic mean of the entropies. Returns 0 when degenerate.
+func (c *Contingency) NMI() float64 {
+	n := 0
+	for _, s := range c.ClusterSz {
+		n += s
+	}
+	if n == 0 {
+		return 0
+	}
+	fn := float64(n)
+	var mi, hClass, hCluster float64
+	for i := 0; i < c.NumClass; i++ {
+		classInClustered := 0
+		for j := 0; j < c.NumCluster; j++ {
+			classInClustered += c.CoOccur[i][j]
+		}
+		if classInClustered > 0 {
+			p := float64(classInClustered) / fn
+			hClass -= p * math.Log(p)
+		}
+		for j := 0; j < c.NumCluster; j++ {
+			nij := c.CoOccur[i][j]
+			if nij == 0 || c.ClusterSz[j] == 0 {
+				continue
+			}
+			pij := float64(nij) / fn
+			pi := float64(classInClustered) / fn
+			pj := float64(c.ClusterSz[j]) / fn
+			mi += pij * math.Log(pij/(pi*pj))
+		}
+	}
+	for j := 0; j < c.NumCluster; j++ {
+		if c.ClusterSz[j] > 0 {
+			p := float64(c.ClusterSz[j]) / fn
+			hCluster -= p * math.Log(p)
+		}
+	}
+	denom := (hClass + hCluster) / 2
+	if denom == 0 {
+		return 0
+	}
+	nmi := mi / denom
+	if nmi < 0 {
+		nmi = 0
+	} else if nmi > 1 {
+		nmi = 1
+	}
+	return nmi
+}
+
+// FMeasure is a convenience wrapper building the contingency table and
+// returning the overall F-measure directly.
+func FMeasure(labels, assign []int, numCluster int) float64 {
+	return NewContingency(labels, assign, numCluster).FMeasure()
+}
+
+// TrashFraction reports the fraction of labeled objects left unassigned.
+func TrashFraction(labels, assign []int) float64 {
+	labeled, trash := 0, 0
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		labeled++
+		if i >= len(assign) || assign[i] < 0 {
+			trash++
+		}
+	}
+	if labeled == 0 {
+		return 0
+	}
+	return float64(trash) / float64(labeled)
+}

@@ -1,0 +1,184 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFMeasurePerfect(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	assign := []int{0, 0, 1, 1, 2, 2}
+	if got := FMeasure(labels, assign, 3); !approx(got, 1) {
+		t.Errorf("perfect clustering F = %v", got)
+	}
+}
+
+func TestFMeasurePermutationInvariant(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	// Same partition, permuted cluster ids.
+	assign := []int{2, 2, 0, 0, 1, 1}
+	if got := FMeasure(labels, assign, 3); !approx(got, 1) {
+		t.Errorf("permuted perfect clustering F = %v", got)
+	}
+}
+
+func TestFMeasureSingleCluster(t *testing.T) {
+	labels := []int{0, 0, 0, 1, 1, 1}
+	assign := []int{0, 0, 0, 0, 0, 0}
+	// Each class: P = 3/6, R = 1 → F_ij = 2·0.5·1/1.5 = 2/3.
+	if got := FMeasure(labels, assign, 1); !approx(got, 2.0/3.0) {
+		t.Errorf("single-cluster F = %v, want 2/3", got)
+	}
+}
+
+func TestFMeasureHandComputed(t *testing.T) {
+	// Class 0: {o0,o1,o2}; class 1: {o3,o4}.
+	// Cluster 0: {o0,o1,o3}; cluster 1: {o2,o4}.
+	labels := []int{0, 0, 0, 1, 1}
+	assign := []int{0, 0, 1, 0, 1}
+	// Class 0 vs cluster 0: P=2/3, R=2/3, F=2/3; vs cluster 1: P=1/2,
+	// R=1/3, F=0.4 → max 2/3.
+	// Class 1 vs cluster 0: P=1/3, R=1/2 → F=0.4; vs cluster 1: P=1/2,
+	// R=1/2, F=1/2 → max 1/2.
+	// Overall: (3·(2/3) + 2·(1/2))/5 = 3/5 = 0.6.
+	if got := FMeasure(labels, assign, 2); !approx(got, 0.6) {
+		t.Errorf("F = %v, want 0.6", got)
+	}
+}
+
+func TestFMeasureTrashPenalizesRecall(t *testing.T) {
+	labels := []int{0, 0, 0, 0}
+	full := FMeasure(labels, []int{0, 0, 0, 0}, 1)
+	half := FMeasure(labels, []int{0, 0, -1, -1}, 1)
+	if full <= half {
+		t.Errorf("trash should reduce F: full=%v half=%v", full, half)
+	}
+	// Half in trash: P=1, R=1/2 → F=2/3.
+	if !approx(half, 2.0/3.0) {
+		t.Errorf("half-trash F = %v, want 2/3", half)
+	}
+}
+
+func TestFMeasureUnlabeledExcluded(t *testing.T) {
+	labels := []int{0, 0, -1, 1}
+	assign := []int{0, 0, 0, 1}
+	if got := FMeasure(labels, assign, 2); !approx(got, 1) {
+		// Unlabeled object in cluster 0 still counts toward |C_0| through
+		// ClusterSz? No: unlabeled objects are excluded entirely.
+		t.Errorf("F = %v, want 1", got)
+	}
+}
+
+func TestFMeasureEmpty(t *testing.T) {
+	if got := FMeasure(nil, nil, 3); got != 0 {
+		t.Errorf("empty F = %v", got)
+	}
+	if got := FMeasure([]int{-1, -1}, []int{0, 1}, 2); got != 0 {
+		t.Errorf("all-unlabeled F = %v", got)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	labels := []int{0, 0, 1, 1}
+	cont := NewContingency(labels, []int{0, 0, 1, 1}, 2)
+	if got := cont.Purity(); !approx(got, 1) {
+		t.Errorf("perfect purity = %v", got)
+	}
+	cont = NewContingency(labels, []int{0, 1, 0, 1}, 2)
+	if got := cont.Purity(); !approx(got, 0.5) {
+		t.Errorf("mixed purity = %v, want 0.5", got)
+	}
+}
+
+func TestNMIPerfectAndRandom(t *testing.T) {
+	labels := []int{0, 0, 0, 1, 1, 1}
+	perfect := NewContingency(labels, []int{1, 1, 1, 0, 0, 0}, 2).NMI()
+	if !approx(perfect, 1) {
+		t.Errorf("perfect NMI = %v", perfect)
+	}
+	single := NewContingency(labels, []int{0, 0, 0, 0, 0, 0}, 1).NMI()
+	if single != 0 {
+		t.Errorf("single-cluster NMI = %v, want 0", single)
+	}
+}
+
+func TestNMIRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(30)
+		k := 1 + rng.Intn(5)
+		h := 1 + rng.Intn(5)
+		labels := make([]int, n)
+		assign := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(h)
+			assign[i] = rng.Intn(k) - 1 // sometimes trash
+		}
+		c := NewContingency(labels, assign, k)
+		if v := c.NMI(); v < 0 || v > 1 {
+			t.Fatalf("NMI out of range: %v", v)
+		}
+		if v := c.FMeasure(); v < 0 || v > 1 {
+			t.Fatalf("F out of range: %v", v)
+		}
+		if v := c.Purity(); v < 0 || v > 1 {
+			t.Fatalf("purity out of range: %v", v)
+		}
+	}
+}
+
+func TestFMeasureRandomWorseThanExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, k := 60, 4
+	labels := make([]int, n)
+	exact := make([]int, n)
+	random := make([]int, n)
+	for i := range labels {
+		labels[i] = i % k
+		exact[i] = labels[i]
+		random[i] = rng.Intn(k)
+	}
+	if FMeasure(labels, exact, k) <= FMeasure(labels, random, k) {
+		t.Error("random clustering scored at least as high as exact")
+	}
+}
+
+func TestTrashFraction(t *testing.T) {
+	labels := []int{0, 1, -1, 0}
+	assign := []int{0, -1, -1, 1}
+	// Labeled: 3; trash among labeled: 1 (index 1).
+	if got := TrashFraction(labels, assign); !approx(got, 1.0/3.0) {
+		t.Errorf("trash fraction = %v, want 1/3", got)
+	}
+	if got := TrashFraction(nil, nil); got != 0 {
+		t.Errorf("empty trash fraction = %v", got)
+	}
+	// Assignment shorter than labels counts as trash.
+	if got := TrashFraction([]int{0, 0}, []int{0}); !approx(got, 0.5) {
+		t.Errorf("short assign trash = %v", got)
+	}
+}
+
+func TestContingencyCounts(t *testing.T) {
+	labels := []int{0, 0, 1, 2}
+	assign := []int{0, 1, 1, -1}
+	c := NewContingency(labels, assign, 2)
+	if c.N != 4 {
+		t.Errorf("N = %d", c.N)
+	}
+	if c.NumClass != 3 || c.NumCluster != 2 {
+		t.Errorf("dims = %d×%d", c.NumClass, c.NumCluster)
+	}
+	if c.ClassSize[0] != 2 || c.ClassSize[1] != 1 || c.ClassSize[2] != 1 {
+		t.Errorf("class sizes = %v", c.ClassSize)
+	}
+	if c.ClusterSz[0] != 1 || c.ClusterSz[1] != 2 {
+		t.Errorf("cluster sizes = %v", c.ClusterSz)
+	}
+	if c.CoOccur[0][0] != 1 || c.CoOccur[0][1] != 1 || c.CoOccur[1][1] != 1 {
+		t.Errorf("co-occurrence = %v", c.CoOccur)
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xmlclust/internal/dataset"
+)
+
+// Fig7Point is one (m, runtime) sample of a Fig. 7 curve.
+type Fig7Point struct {
+	M       int
+	SimTime time.Duration
+	Compute time.Duration
+	Bytes   int64
+	Rounds  int
+}
+
+// Fig7Series is one curve (full-size or halved dataset).
+type Fig7Series struct {
+	Label  string
+	Points []Fig7Point
+}
+
+// Fig7Result reproduces one panel of Fig. 7: clustering time vs number of
+// nodes, full and halved dataset, structure/content-driven setting.
+type Fig7Result struct {
+	Dataset    string
+	Full, Half Fig7Series
+}
+
+// SaturationM returns the smallest m whose runtime is within tol of the
+// series minimum — the paper's "stabilization point" (Sect. 5.5.1).
+func (s Fig7Series) SaturationM(tol float64) int {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	min := s.Points[0].SimTime
+	for _, p := range s.Points {
+		if p.SimTime < min {
+			min = p.SimTime
+		}
+	}
+	for _, p := range s.Points {
+		if float64(p.SimTime) <= float64(min)*(1+tol) {
+			return p.M
+		}
+	}
+	return s.Points[len(s.Points)-1].M
+}
+
+// Fig7 runs one panel. Each m is sampled once per seed and averaged.
+func Fig7(ds string, scale Scale) (*Fig7Result, error) {
+	res := &Fig7Result{Dataset: ds}
+	for _, half := range []bool{false, true} {
+		docs := scale.Docs[ds]
+		label := "full"
+		if half {
+			docs = scale.HalfDocs(ds)
+			label = "half"
+		}
+		series := Fig7Series{Label: label}
+		kind := dataset.ByHybrid
+		if ds == "Wikipedia" {
+			kind = dataset.ByContent // no structural variety (Sect. 5.2)
+		}
+		for _, m := range scale.FigMs {
+			spec := RunSpec{
+				Dataset: ds, Kind: kind,
+				Gamma: BestGamma(ds, kind),
+				Peers: m, Docs: docs, MaxTuples: scale.MaxTuples,
+			}
+			r, err := AverageF(spec, HybridDriven.Fs, scale.Seeds)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s m=%d: %w", ds, m, err)
+			}
+			series.Points = append(series.Points, Fig7Point{
+				M: m, SimTime: r.SimTime, Compute: r.Compute, Bytes: r.Bytes, Rounds: r.Rounds,
+			})
+		}
+		if half {
+			res.Half = series
+		} else {
+			res.Full = series
+		}
+	}
+	return res, nil
+}
+
+// Write renders the panel in the paper's series form.
+func (r *Fig7Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 7 — clustering time vs number of nodes (%s, f∈[0.4,0.6], equal split)\n", r.Dataset)
+	fmt.Fprintf(w, "%6s  %16s  %16s\n", "nodes", "time(full)", "time(half)")
+	for i, p := range r.Full.Points {
+		var half time.Duration
+		if i < len(r.Half.Points) {
+			half = r.Half.Points[i].SimTime
+		}
+		fmt.Fprintf(w, "%6d  %16s  %16s\n", p.M, p.SimTime.Round(time.Microsecond), half.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "saturation point: full=%d half=%d nodes (tol 15%%)\n",
+		r.Full.SaturationM(0.15), r.Half.SaturationM(0.15))
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xmlclust/internal/dataset"
+)
+
+// Fig8Point compares the two algorithms at one network size.
+type Fig8Point struct {
+	M        int
+	CXKTime  time.Duration
+	PKTime   time.Duration
+	CXKBytes int64
+	PKBytes  int64
+	CXKF     float64
+	PKF      float64
+}
+
+// Fig8Result reproduces one panel of Fig. 8 (CXK-means vs PK-means
+// clustering time by number of nodes) plus the Sect. 5.5.3 accuracy
+// comparison on the same runs.
+type Fig8Result struct {
+	Dataset string
+	Points  []Fig8Point
+}
+
+// Fig8 runs one panel: structure/content-driven, equal split, both
+// algorithms fed the same partitions and seeds.
+func Fig8(ds string, scale Scale) (*Fig8Result, error) {
+	res := &Fig8Result{Dataset: ds}
+	kind := dataset.ByHybrid
+	if ds == "Wikipedia" {
+		kind = dataset.ByContent
+	}
+	for _, m := range scale.FigMs {
+		spec := RunSpec{
+			Dataset: ds, Kind: kind,
+			Gamma: BestGamma(ds, kind),
+			Peers: m, Docs: scale.Docs[ds], MaxTuples: scale.MaxTuples,
+		}
+		cxk, err := AverageF(spec, HybridDriven.Fs, scale.Seeds)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s cxk m=%d: %w", ds, m, err)
+		}
+		pkSpec := spec
+		pkSpec.Algorithm = PK
+		pk, err := AverageF(pkSpec, HybridDriven.Fs, scale.Seeds)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s pk m=%d: %w", ds, m, err)
+		}
+		res.Points = append(res.Points, Fig8Point{
+			M:       m,
+			CXKTime: cxk.SimTime, PKTime: pk.SimTime,
+			CXKBytes: cxk.Bytes, PKBytes: pk.Bytes,
+			CXKF: cxk.F, PKF: pk.F,
+		})
+	}
+	return res, nil
+}
+
+// Write renders the panel plus the accuracy-margin summary.
+func (r *Fig8Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 8 — CXK-means vs PK-means clustering time (%s, f∈[0.4,0.6], equal split)\n", r.Dataset)
+	fmt.Fprintf(w, "%6s  %14s  %14s  %12s  %12s\n", "nodes", "CXK time", "PK time", "CXK bytes", "PK bytes")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%6d  %14s  %14s  %12d  %12d\n",
+			p.M, p.CXKTime.Round(time.Microsecond), p.PKTime.Round(time.Microsecond), p.CXKBytes, p.PKBytes)
+	}
+	fmt.Fprintf(w, "accuracy margin (CXK F − PK F, avg over m>1): %+.3f\n", r.AccuracyMargin())
+}
+
+// AccuracyMargin averages CXK F − PK F over the distributed runs (m > 1) —
+// the paper reports a +0.03 average advantage (Sect. 5.5.3).
+func (r *Fig8Result) AccuracyMargin() float64 {
+	sum, n := 0.0, 0
+	for _, p := range r.Points {
+		if p.M <= 1 {
+			continue
+		}
+		sum += p.CXKF - p.PKF
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,51 @@
+package p2p
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// DelayTransport wraps another transport and stalls every send by a random
+// duration in [0, MaxDelay], modeling a congested but lossless LAN. The
+// wrapped transport's per-pair FIFO ordering is preserved (the delay
+// happens before handing the message to the inner transport). Used by the
+// robustness tests to shake out cross-peer ordering assumptions in the
+// round protocols.
+type DelayTransport struct {
+	Inner    Transport
+	MaxDelay time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewDelayTransport wraps inner with random send delays drawn from the
+// seeded rng.
+func NewDelayTransport(inner Transport, maxDelay time.Duration, seed int64) *DelayTransport {
+	return &DelayTransport{
+		Inner:    inner,
+		MaxDelay: maxDelay,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Send implements Transport.
+func (d *DelayTransport) Send(from, to int, payload any) error {
+	if d.MaxDelay > 0 {
+		d.mu.Lock()
+		delay := time.Duration(d.rng.Int63n(int64(d.MaxDelay) + 1))
+		d.mu.Unlock()
+		time.Sleep(delay)
+	}
+	return d.Inner.Send(from, to, payload)
+}
+
+// Recv implements Transport.
+func (d *DelayTransport) Recv(self int) <-chan Envelope { return d.Inner.Recv(self) }
+
+// Peers implements Transport.
+func (d *DelayTransport) Peers() int { return d.Inner.Peers() }
+
+// Close implements Transport.
+func (d *DelayTransport) Close() error { return d.Inner.Close() }

@@ -1,0 +1,138 @@
+// Package p2p is the peer-to-peer network substrate the distributed
+// algorithms run on. Peers are identified by dense integer ids [0..m).
+// Two Transport implementations are provided:
+//
+//   - ChanTransport: in-process buffered channels — deterministic, zero
+//     dependency, used by tests and benchmarks;
+//   - TCPTransport: one loopback TCP listener per peer with gob-encoded
+//     frames ("net" + "encoding/gob" only) — exercises a real wire.
+//
+// Every delivered Envelope is stamped with its wire size so algorithms can
+// account traffic per peer and per round; ChanTransport stamps the modeled
+// size produced by a Sizer, TCPTransport stamps actual encoded bytes.
+package p2p
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Envelope is one delivered message.
+type Envelope struct {
+	From    int
+	To      int
+	Bytes   int64 // wire size (modeled or actual, per transport)
+	Payload any
+}
+
+// Sizer models the wire size of a payload (used by ChanTransport, and by
+// algorithms that want transport-independent accounting).
+type Sizer func(payload any) int64
+
+// Transport moves envelopes between peers. Implementations must be safe
+// for concurrent Send from multiple goroutines; Recv(i) must be consumed by
+// peer i only.
+type Transport interface {
+	// Send delivers payload from one peer to another. Sending to self is
+	// allowed and delivered like any other message.
+	Send(from, to int, payload any) error
+	// Recv returns the receive channel of a peer.
+	Recv(self int) <-chan Envelope
+	// Peers returns the number of peers m.
+	Peers() int
+	// Close releases resources; pending messages may be dropped.
+	Close() error
+}
+
+// Stats accumulates global transport counters.
+type Stats struct {
+	Messages atomic.Int64
+	Bytes    atomic.Int64
+}
+
+// ChanTransport is the in-process channel transport.
+type ChanTransport struct {
+	inboxes []chan Envelope
+	sizer   Sizer
+	stats   Stats
+	closed  atomic.Bool
+}
+
+// DefaultInboxDepth is sized so that a full round of all-to-all traffic
+// never blocks a sender (k representatives to m peers, with slack).
+const DefaultInboxDepth = 1024
+
+// NewChanTransport creates a transport for m peers. sizer may be nil, in
+// which case payload sizes are recorded as 0.
+func NewChanTransport(m int, sizer Sizer) *ChanTransport {
+	t := &ChanTransport{inboxes: make([]chan Envelope, m), sizer: sizer}
+	for i := range t.inboxes {
+		t.inboxes[i] = make(chan Envelope, DefaultInboxDepth)
+	}
+	return t
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(from, to int, payload any) error {
+	if t.closed.Load() {
+		return fmt.Errorf("p2p: transport closed")
+	}
+	if to < 0 || to >= len(t.inboxes) {
+		return fmt.Errorf("p2p: unknown peer %d", to)
+	}
+	var n int64
+	if t.sizer != nil {
+		n = t.sizer(payload)
+	}
+	t.stats.Messages.Add(1)
+	t.stats.Bytes.Add(n)
+	t.inboxes[to] <- Envelope{From: from, To: to, Bytes: n, Payload: payload}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv(self int) <-chan Envelope { return t.inboxes[self] }
+
+// Peers implements Transport.
+func (t *ChanTransport) Peers() int { return len(t.inboxes) }
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	t.closed.Store(true)
+	return nil
+}
+
+// Stats exposes the global counters.
+func (t *ChanTransport) Stats() (msgs, bytes int64) {
+	return t.stats.Messages.Load(), t.stats.Bytes.Load()
+}
+
+// TimeModel converts traffic into simulated wire time, mirroring the
+// t_comm term of the paper's cost analysis (Sect. 4.3.3–4.3.4). The
+// defaults match the paper's testbed: GigaBit ethernet, sub-millisecond
+// LAN latency.
+type TimeModel struct {
+	// LatencyPerMsg is the fixed per-message cost.
+	LatencyPerMsg time.Duration
+	// BytesPerSecond is the link bandwidth.
+	BytesPerSecond float64
+}
+
+// DefaultTimeModel returns the GigaBit LAN model used by the experiments.
+func DefaultTimeModel() TimeModel {
+	return TimeModel{LatencyPerMsg: 100 * time.Microsecond, BytesPerSecond: 125e6}
+}
+
+// CommTime returns the simulated time to move msgs messages totalling
+// bytes over one link endpoint.
+func (tm TimeModel) CommTime(msgs, bytes int64) time.Duration {
+	if msgs <= 0 && bytes <= 0 {
+		return 0
+	}
+	d := time.Duration(msgs) * tm.LatencyPerMsg
+	if tm.BytesPerSecond > 0 {
+		d += time.Duration(float64(bytes) / tm.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}

@@ -1,0 +1,205 @@
+package pkmeans
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlclust/internal/cluster"
+	"xmlclust/internal/core"
+	"xmlclust/internal/eval"
+	"xmlclust/internal/sim"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/weighting"
+	"xmlclust/internal/xmltree"
+)
+
+func miniCorpus(t testing.TB, perGroup int) (*txn.Corpus, []int) {
+	t.Helper()
+	var trees []*xmltree.Tree
+	var labels []int
+	for i := 0; i < perGroup; i++ {
+		doc := fmt.Sprintf(`<db><paper key="p%d">
+			<writer>alice cooper</writer>
+			<name>mining frequent patterns number%d</name>
+			<venue>KDD</venue>
+		</paper></db>`, i, i)
+		tree, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+		labels = append(labels, 0)
+	}
+	for i := 0; i < perGroup; i++ {
+		doc := fmt.Sprintf(`<db><report key="r%d">
+			<editor>bob dylan</editor>
+			<heading>routing wireless networks number%d</heading>
+			<lab>NETLAB</lab>
+		</report></db>`, i, i)
+		tree, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+		labels = append(labels, 1)
+	}
+	corpus := txn.Build(trees, txn.BuildOptions{Labels: labels})
+	weighting.Apply(corpus)
+	tl := make([]int, len(corpus.Transactions))
+	for i, tr := range corpus.Transactions {
+		tl[i] = tr.Label
+	}
+	return corpus, tl
+}
+
+func runPK(t testing.TB, corpus *txn.Corpus, k, m int, seed int64) *core.Result {
+	t.Helper()
+	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+	res, err := Run(cx, corpus, Options{
+		K: k, Params: cx.Params, Peers: m,
+		Partition: core.EqualPartition(len(corpus.Transactions), m, seed),
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPKSinglePeer(t *testing.T) {
+	corpus, labels := miniCorpus(t, 6)
+	bestF := -1.0
+	for seed := int64(1); seed <= 5; seed++ {
+		res := runPK(t, corpus, 2, 1, seed)
+		if res.Rounds == 0 {
+			t.Fatal("did not run")
+		}
+		if f := eval.FMeasure(labels, res.Assign, 2); f > bestF {
+			bestF = f
+		}
+	}
+	if bestF < 0.9 {
+		t.Errorf("single-peer best F = %v", bestF)
+	}
+}
+
+func TestPKMultiPeerTerminates(t *testing.T) {
+	corpus, labels := miniCorpus(t, 8)
+	for _, m := range []int{2, 3, 5} {
+		bestF := -1.0
+		for seed := int64(1); seed <= 5; seed++ {
+			res := runPK(t, corpus, 2, m, seed)
+			if res.Rounds == 0 || res.Rounds > core.DefaultMaxRounds+1 {
+				t.Fatalf("m=%d rounds = %d", m, res.Rounds)
+			}
+			if f := eval.FMeasure(labels, res.Assign, 2); f > bestF {
+				bestF = f
+			}
+		}
+		if bestF < 0.6 {
+			t.Errorf("m=%d best F = %v", m, bestF)
+		}
+	}
+}
+
+func TestPKDeterministic(t *testing.T) {
+	corpus, _ := miniCorpus(t, 6)
+	a := runPK(t, corpus, 2, 3, 7)
+	b := runPK(t, corpus, 2, 3, 7)
+	if a.Rounds != b.Rounds {
+		t.Errorf("rounds differ: %d vs %d", a.Rounds, b.Rounds)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("assignments differ across identical runs")
+		}
+	}
+}
+
+// TestPKTrafficExceedsCXK verifies the defining property of the
+// non-collaborative baseline: all-to-all representative exchange moves
+// strictly more data than CXK's responsibility-partitioned pattern at the
+// same network size (Sect. 5.5.3, Fig. 8).
+func TestPKTrafficExceedsCXK(t *testing.T) {
+	corpus, _ := miniCorpus(t, 10)
+	m := 5
+	cxPK := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+	pk, err := Run(cxPK, corpus, Options{
+		K: 2, Params: cxPK.Params, Peers: m,
+		Partition: core.EqualPartition(len(corpus.Transactions), m, 3),
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cxCXK := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+	cxk, err := core.Run(cxCXK, corpus, core.Options{
+		K: 2, Params: cxCXK.Params, Peers: m,
+		Partition: core.EqualPartition(len(corpus.Transactions), m, 3),
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pkBytes := pk.TotalTraffic()
+	_, cxkBytes := cxk.TotalTraffic()
+	pkPerRound := float64(pkBytes) / float64(pk.Rounds)
+	cxkPerRound := float64(cxkBytes) / float64(cxk.Rounds)
+	if pkPerRound <= cxkPerRound {
+		t.Errorf("PK per-round traffic %.0f should exceed CXK %.0f", pkPerRound, cxkPerRound)
+	}
+}
+
+func TestPKValidation(t *testing.T) {
+	corpus, _ := miniCorpus(t, 2)
+	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+	if _, err := Run(cx, corpus, Options{K: 2, Peers: 0}); err == nil {
+		t.Error("peers=0 should fail")
+	}
+	if _, err := Run(cx, corpus, Options{K: 0, Peers: 1}); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Run(cx, corpus, Options{K: 2, Peers: 3, Partition: make([][]int, 2)}); err == nil {
+		t.Error("partition mismatch should fail")
+	}
+}
+
+func TestPKAssignmentsValid(t *testing.T) {
+	corpus, _ := miniCorpus(t, 5)
+	res := runPK(t, corpus, 2, 3, 4)
+	if len(res.Assign) != len(corpus.Transactions) {
+		t.Fatalf("assign length %d", len(res.Assign))
+	}
+	for i, a := range res.Assign {
+		if a != cluster.TrashCluster && (a < 0 || a >= 2) {
+			t.Errorf("transaction %d invalid assignment %d", i, a)
+		}
+	}
+}
+
+func TestPKPeerReportsConsistent(t *testing.T) {
+	corpus, _ := miniCorpus(t, 6)
+	res := runPK(t, corpus, 2, 3, 8)
+	var sent, recv int64
+	for i := range res.Peers {
+		for r := range res.Peers[i].SentMsgsByRound {
+			sent += res.Peers[i].SentMsgsByRound[r]
+			recv += res.Peers[i].RecvMsgsByRound[r]
+		}
+	}
+	if sent != recv {
+		t.Errorf("message conservation violated: sent=%d recv=%d", sent, recv)
+	}
+	if sent == 0 {
+		t.Error("no messages recorded")
+	}
+}
+
+func BenchmarkPKRunM3(b *testing.B) {
+	corpus, _ := miniCorpus(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPK(b, corpus, 2, 3, int64(i))
+	}
+}

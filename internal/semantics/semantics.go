@@ -1,0 +1,218 @@
+// Package semantics implements the paper's declared extension (Sect. 4.1.1
+// and Sect. 6): enriching structural similarity with semantic information
+// about tag names. The published algorithm scores tag pairs with the
+// Dirichlet (exact-equality) function Δ; here Δ generalizes to a
+// TagSimilarity that can consult a synonym dictionary and a lexical
+// (token-stem overlap) matcher, so that e.g. `author` ≈ `writer` and
+// `bookTitle` ≈ `book-title` contribute partial structural matches.
+//
+// The default pipeline stays byte-exact with the paper (Exact); the
+// semantic matchers are opt-in and exercised by the semantic ablation
+// benchmark.
+package semantics
+
+import (
+	"strings"
+	"sync"
+
+	"xmlclust/internal/textproc"
+)
+
+// TagSimilarity scores two XML tag names in [0,1]. Implementations must be
+// symmetric and safe for concurrent use.
+type TagSimilarity interface {
+	Sim(a, b string) float64
+}
+
+// Exact is the paper's Dirichlet function Δ: 1 on equality, else 0.
+type Exact struct{}
+
+// Sim implements TagSimilarity.
+func (Exact) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// Dictionary scores tag pairs through synonym classes: tags mapped to the
+// same class id match with the configured score. Lookups are
+// case-insensitive. Unknown pairs fall back to exact matching.
+type Dictionary struct {
+	// Score is the similarity granted to same-class tags (default 1).
+	Score float64
+
+	mu      sync.RWMutex
+	classOf map[string]int
+	nextID  int
+}
+
+// NewDictionary creates an empty dictionary with full-score synonyms.
+func NewDictionary() *Dictionary {
+	return &Dictionary{Score: 1, classOf: map[string]int{}}
+}
+
+// AddSynonyms registers a synonym class. Tags already known keep their
+// class, merging is not performed (first class wins), mirroring how flat
+// thesauri behave.
+func (d *Dictionary) AddSynonyms(tags ...string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := d.nextID
+	d.nextID++
+	for _, t := range tags {
+		key := strings.ToLower(t)
+		if _, exists := d.classOf[key]; !exists {
+			d.classOf[key] = id
+		}
+	}
+}
+
+// Sim implements TagSimilarity.
+func (d *Dictionary) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := strings.ToLower(a), strings.ToLower(b)
+	if la == lb {
+		return 1
+	}
+	d.mu.RLock()
+	ca, oka := d.classOf[la]
+	cb, okb := d.classOf[lb]
+	d.mu.RUnlock()
+	if oka && okb && ca == cb {
+		return d.Score
+	}
+	return 0
+}
+
+// Lexical scores tags by the Jaccard overlap of their stemmed name tokens:
+// tag names are split on case transitions, digits, `-`, `_`, `.` and `:`
+// (common XML naming conventions), stopworded and Porter-stemmed. It
+// captures near-synonymy such as bookTitle / book_title / booktitles.
+type Lexical struct {
+	// MinScore truncates weak overlaps to 0 to avoid noise (default 0.5
+	// through NewLexical).
+	MinScore float64
+
+	mu    sync.RWMutex
+	cache map[string][]string
+}
+
+// NewLexical creates a lexical matcher with the default noise floor.
+func NewLexical() *Lexical {
+	return &Lexical{MinScore: 0.5, cache: map[string][]string{}}
+}
+
+// Sim implements TagSimilarity.
+func (l *Lexical) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ta := l.tokens(a)
+	tb := l.tokens(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	seen := map[string]bool{}
+	for _, t := range ta {
+		seen[t] = true
+	}
+	union := len(seen)
+	for _, t := range tb {
+		if seen[t] {
+			inter++
+			seen[t] = false // count each shared token once
+		} else {
+			union++
+		}
+	}
+	score := float64(inter) / float64(union)
+	if score < l.MinScore {
+		return 0
+	}
+	return score
+}
+
+func (l *Lexical) tokens(tag string) []string {
+	l.mu.RLock()
+	toks, ok := l.cache[tag]
+	l.mu.RUnlock()
+	if ok {
+		return toks
+	}
+	toks = SplitTagName(tag)
+	out := toks[:0]
+	for _, t := range toks {
+		if textproc.IsStopword(t) {
+			continue
+		}
+		s := textproc.Stem(t)
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	l.mu.Lock()
+	l.cache[tag] = out
+	l.mu.Unlock()
+	return out
+}
+
+// SplitTagName splits an XML name into lowercase word tokens on case
+// transitions and punctuation: "bookTitle" → [book title],
+// "book_title-2" → [book title 2... digits dropped], "ns:localName" →
+// [local name] (prefix dropped).
+func SplitTagName(tag string) []string {
+	// Drop a namespace prefix.
+	if i := strings.LastIndexByte(tag, ':'); i >= 0 {
+		tag = tag[i+1:]
+	}
+	tag = strings.TrimPrefix(tag, "@")
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 1 { // single letters are noise
+			tokens = append(tokens, b.String())
+		}
+		b.Reset()
+	}
+	prevLower := false
+	for _, r := range tag {
+		switch {
+		case r >= 'a' && r <= 'z':
+			b.WriteRune(r)
+			prevLower = true
+		case r >= 'A' && r <= 'Z':
+			if prevLower {
+				flush()
+			}
+			b.WriteRune(r - 'A' + 'a')
+			prevLower = false
+		default:
+			flush()
+			prevLower = false
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Chain tries a sequence of matchers and returns the maximum score — the
+// usual way to stack a domain dictionary on top of the lexical fallback.
+type Chain []TagSimilarity
+
+// Sim implements TagSimilarity.
+func (c Chain) Sim(a, b string) float64 {
+	best := 0.0
+	for _, m := range c {
+		if s := m.Sim(a, b); s > best {
+			best = s
+			if best >= 1 {
+				return 1
+			}
+		}
+	}
+	return best
+}

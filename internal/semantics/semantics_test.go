@@ -1,0 +1,184 @@
+package semantics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestExact(t *testing.T) {
+	e := Exact{}
+	if e.Sim("author", "author") != 1 {
+		t.Error("equal tags must match")
+	}
+	if e.Sim("author", "writer") != 0 {
+		t.Error("different tags must not match")
+	}
+	if e.Sim("Author", "author") != 0 {
+		t.Error("Δ is case-sensitive by definition")
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	d := NewDictionary()
+	d.AddSynonyms("author", "writer", "creator")
+	d.AddSynonyms("title", "name", "heading")
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"author", "writer", 1},
+		{"writer", "creator", 1},
+		{"title", "heading", 1},
+		{"author", "title", 0},
+		{"author", "author", 1},
+		{"unknown", "writer", 0},
+		{"unknown", "unknown", 1},
+		{"AUTHOR", "Writer", 1}, // case-insensitive lookup
+	}
+	for _, c := range cases {
+		if got := d.Sim(c.a, c.b); got != c.want {
+			t.Errorf("Sim(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDictionaryScore(t *testing.T) {
+	d := NewDictionary()
+	d.Score = 0.8
+	d.AddSynonyms("author", "writer")
+	if got := d.Sim("author", "writer"); got != 0.8 {
+		t.Errorf("scored synonym = %v", got)
+	}
+	if got := d.Sim("author", "author"); got != 1 {
+		t.Errorf("identity must stay 1, got %v", got)
+	}
+}
+
+func TestDictionaryFirstClassWins(t *testing.T) {
+	d := NewDictionary()
+	d.AddSynonyms("a", "b")
+	d.AddSynonyms("b", "c") // b keeps class 0; c joins class 1
+	if d.Sim("a", "b") != 1 {
+		t.Error("a~b broken")
+	}
+	if d.Sim("b", "c") != 0 {
+		t.Error("b should not merge into the second class")
+	}
+}
+
+func TestSplitTagName(t *testing.T) {
+	cases := map[string][]string{
+		"bookTitle":     {"book", "title"},
+		"book_title":    {"book", "title"},
+		"book-title":    {"book", "title"},
+		"BOOKTitle":     {"booktitle"},
+		"ns:localName":  {"local", "name"},
+		"@key":          {"key"},
+		"inproceedings": {"inproceedings"},
+		"sec2":          {"sec"},
+		"x":             nil,
+	}
+	for in, want := range cases {
+		got := SplitTagName(in)
+		if len(got) != len(want) {
+			t.Errorf("SplitTagName(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("SplitTagName(%q) = %v, want %v", in, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestLexical(t *testing.T) {
+	l := NewLexical()
+	if got := l.Sim("bookTitle", "book_title"); got != 1 {
+		t.Errorf("naming-convention variants = %v, want 1", got)
+	}
+	if got := l.Sim("bookTitles", "book_title"); got != 1 {
+		t.Errorf("plural variant = %v, want 1 (stemming)", got)
+	}
+	if got := l.Sim("author", "publisher"); got != 0 {
+		t.Errorf("unrelated tags = %v", got)
+	}
+	// Partial overlap above the floor: {book,title} vs {book,name} = 1/3 < 0.5 → 0.
+	if got := l.Sim("bookTitle", "bookName"); got != 0 {
+		t.Errorf("weak overlap should floor to 0, got %v", got)
+	}
+	l.MinScore = 0.2
+	if got := l.Sim("bookTitle", "bookName"); got <= 0 || got >= 1 {
+		t.Errorf("partial overlap = %v, want (0,1)", got)
+	}
+}
+
+func TestLexicalSymmetric(t *testing.T) {
+	l := NewLexical()
+	tags := []string{"bookTitle", "book_title", "author", "authorName", "sec", "section"}
+	for _, a := range tags {
+		for _, b := range tags {
+			if l.Sim(a, b) != l.Sim(b, a) {
+				t.Errorf("asymmetric for %q,%q", a, b)
+			}
+		}
+	}
+}
+
+func TestLexicalCacheConcurrent(t *testing.T) {
+	l := NewLexical()
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- true }()
+			for i := 0; i < 200; i++ {
+				l.Sim("bookTitle", "book_title")
+				l.Sim("authorName", "author_name")
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestChain(t *testing.T) {
+	d := NewDictionary()
+	d.AddSynonyms("author", "writer")
+	c := Chain{d, NewLexical()}
+	if got := c.Sim("author", "writer"); got != 1 {
+		t.Errorf("dictionary through chain = %v", got)
+	}
+	if got := c.Sim("bookTitle", "book_title"); got != 1 {
+		t.Errorf("lexical through chain = %v", got)
+	}
+	if got := c.Sim("author", "publisher"); got != 0 {
+		t.Errorf("no matcher should fire, got %v", got)
+	}
+	empty := Chain{}
+	if got := empty.Sim("a", "a"); got != 0 {
+		t.Errorf("empty chain = %v", got)
+	}
+}
+
+func TestRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tags := []string{"author", "writer", "bookTitle", "book_title", "sec",
+		"section", "x", "", "Ns:thing", "@attr"}
+	matchers := []TagSimilarity{Exact{}, NewLexical(), func() TagSimilarity {
+		d := NewDictionary()
+		d.AddSynonyms("author", "writer")
+		return d
+	}()}
+	for i := 0; i < 500; i++ {
+		a := tags[rng.Intn(len(tags))]
+		b := tags[rng.Intn(len(tags))]
+		for _, m := range matchers {
+			s := m.Sim(a, b)
+			if s < 0 || s > 1 {
+				t.Fatalf("score out of range: %T(%q,%q)=%v", m, a, b, s)
+			}
+		}
+	}
+}

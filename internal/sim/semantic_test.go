@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"xmlclust/internal/semantics"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/xmltree"
+)
+
+func TestPathSimWithDictionary(t *testing.T) {
+	d := semantics.NewDictionary()
+	d.AddSynonyms("author", "writer")
+	a := xmltree.ParsePath("dblp.article.author")
+	b := xmltree.ParsePath("dblp.article.writer")
+	// Exact Δ: author vs writer never match → 2 of 3 symbols align.
+	if got := PathSim(a, b); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("exact = %v, want 2/3", got)
+	}
+	// Dictionary Δ: all three symbols align at equal positions → 1.
+	if got := PathSimWith(a, b, d); math.Abs(got-1) > 1e-9 {
+		t.Errorf("dictionary = %v, want 1", got)
+	}
+}
+
+func TestPathSimWithPartialScore(t *testing.T) {
+	d := semantics.NewDictionary()
+	d.Score = 0.5
+	d.AddSynonyms("author", "writer")
+	a := xmltree.ParsePath("r.author")
+	b := xmltree.ParsePath("r.writer")
+	// Per direction: r matches (1) + author~writer at same position (0.5).
+	// simS = (1 + 0.5 + 1 + 0.5)/4 = 0.75.
+	if got := PathSimWith(a, b, d); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("partial-score = %v, want 0.75", got)
+	}
+}
+
+func TestContextTagSimPluggable(t *testing.T) {
+	cx, corpus := buildCtx(t, 1.0, 0.5)
+	// Rebuild a context with a dictionary bridging paper/report fields.
+	d := semantics.NewDictionary()
+	d.AddSynonyms("paper", "report")
+	d.AddSynonyms("name", "name") // no-op class
+	cxSem := NewContext(corpus, Params{F: 1.0, Gamma: 0.5})
+	cxSem.TagSim = semantics.Chain{d, semantics.NewLexical()}
+
+	var paperName, reportName int = -1, -1
+	for id := 0; id < corpus.Items.Len(); id++ {
+		switch corpus.Items.Get(txn.ItemID(id)).Answer {
+		case "mining structured information repositories":
+			paperName = id
+		case "unrelated plumbing manual":
+			reportName = id
+		}
+	}
+	if paperName < 0 || reportName < 0 {
+		t.Fatal("items not found")
+	}
+	exact := cx.ItemIDs(txn.ItemID(paperName), txn.ItemID(reportName))
+	sem := cxSem.ItemIDs(txn.ItemID(paperName), txn.ItemID(reportName))
+	if sem <= exact {
+		t.Errorf("semantic Δ should raise cross-schema structural similarity: %v vs %v", sem, exact)
+	}
+}
+
+func TestPositionPenaltyWithSemantics(t *testing.T) {
+	// A synonym match at a shifted position is still distance-penalized.
+	d := semantics.NewDictionary()
+	d.AddSynonyms("author", "writer")
+	a := xmltree.ParsePath("author")
+	b := xmltree.ParsePath("x.writer")
+	// a→b: author matches writer at position 2, |1−2| → 0.5.
+	// b→a: x no match (0), writer matches author at 1, |2−1| → 0.5.
+	// simS = (0.5 + 0 + 0.5)/3 = 1/3.
+	if got := PathSimWith(a, b, d); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("penalized synonym = %v, want 1/3", got)
+	}
+}

@@ -1,0 +1,274 @@
+// Package sim implements the XML similarity measures of Sect. 4.1:
+//
+//   - structural tag-path similarity simS (Eq. 3) with the positional
+//     penalty (1+|a−l|)^-1 on Dirichlet tag matches;
+//   - content similarity simC: cosine over ttf.itf TCU vectors;
+//   - the combined item similarity sim = f·simS + (1−f)·simC (Eq. 1) and
+//     the γ-matching predicate (Eq. 2);
+//   - the γ-shared-item transaction similarity simγJ (Eq. 4) built on the
+//     enhanced-intersection match sets matchγ.
+//
+// A Context carries the parameters (f, γ) and the collection tables, and
+// owns the precomputed tag-path pair similarity cache that Sect. 4.3.2
+// identifies as the key optimization (the input tag-path set is fixed, so
+// pairwise structural similarities are computed once).
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"xmlclust/internal/semantics"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/vector"
+	"xmlclust/internal/xmltree"
+)
+
+// Params are the two knobs of the similarity model.
+type Params struct {
+	// F ∈ [0,1] tunes the influence of structure vs content (Eq. 1):
+	// [0,0.3] content-driven, [0.4,0.6] hybrid, [0.7,1] structure-driven.
+	F float64
+	// Gamma ∈ [0,1] is the minimum item similarity for γ-matching (Eq. 2).
+	Gamma float64
+}
+
+// Counters tracks how much similarity work was performed; used by the
+// complexity experiments. All fields are updated atomically.
+type Counters struct {
+	ItemSims    atomic.Int64 // calls to Item (Eq. 1)
+	PathSims    atomic.Int64 // structural path alignments actually computed
+	TxnSims     atomic.Int64 // calls to Transactions (Eq. 4)
+	CacheHits   atomic.Int64 // path-pair cache hits
+	CacheMisses atomic.Int64
+}
+
+// Context evaluates similarities for one corpus under fixed Params.
+// It is safe for concurrent use by multiple peers.
+type Context struct {
+	Params   Params
+	Items    *txn.ItemTable
+	Paths    *xmltree.PathTable
+	Counters Counters
+
+	// UseCache controls the tag-path pair cache (on by default; the
+	// ablation benchmark turns it off).
+	UseCache bool
+	// TagSim generalizes the Dirichlet function Δ of Eq. 3. The default is
+	// exact tag equality, as published; semantic matchers (synonym
+	// dictionaries, lexical tag-name overlap) implement the extension
+	// sketched in Sect. 4.1.1/Sect. 6 of the paper.
+	TagSim semantics.TagSimilarity
+
+	mu    sync.RWMutex
+	cache map[pathPair]float64
+}
+
+type pathPair struct{ a, b xmltree.PathID }
+
+// NewContext builds a similarity context over a corpus.
+func NewContext(c *txn.Corpus, p Params) *Context {
+	return &Context{
+		Params:   p,
+		Items:    c.Items,
+		Paths:    c.Paths,
+		UseCache: true,
+		TagSim:   semantics.Exact{},
+		cache:    make(map[pathPair]float64),
+	}
+}
+
+// Structural returns simS between two items (Eq. 3), comparing their tag
+// paths. The result is symmetric and lies in [0,1].
+func (cx *Context) Structural(a, b *txn.Item) float64 {
+	return cx.TagPathSim(a.TagPath, b.TagPath)
+}
+
+// TagPathSim returns the Eq. 3 similarity of two interned tag paths,
+// consulting the pair cache.
+func (cx *Context) TagPathSim(pa, pb xmltree.PathID) float64 {
+	if pa == pb {
+		return 1
+	}
+	key := pathPair{pa, pb}
+	if pb < pa {
+		key = pathPair{pb, pa}
+	}
+	if cx.UseCache {
+		cx.mu.RLock()
+		s, ok := cx.cache[key]
+		cx.mu.RUnlock()
+		if ok {
+			cx.Counters.CacheHits.Add(1)
+			return s
+		}
+		cx.Counters.CacheMisses.Add(1)
+	}
+	s := PathSimWith(cx.Paths.Path(pa), cx.Paths.Path(pb), cx.TagSim)
+	cx.Counters.PathSims.Add(1)
+	if cx.UseCache {
+		cx.mu.Lock()
+		cx.cache[key] = s
+		cx.mu.Unlock()
+	}
+	return s
+}
+
+// PathSim computes Eq. 3 on two raw tag paths with the paper's exact
+// Dirichlet Δ:
+//
+//	simS = 1/(n+m) · ( Σ_h s(t_ih, p_j, h) + Σ_k s(t_jk, p_i, k) )
+//	s(t, p, a) = max_{l=1..L} (1+|a−l|)^-1 · Δ(t, t_l)
+//
+// The positional factor penalizes tags that match but sit at different
+// depths.
+func PathSim(pi, pj xmltree.Path) float64 {
+	return PathSimWith(pi, pj, semantics.Exact{})
+}
+
+// PathSimWith is PathSim with a pluggable tag similarity in place of Δ —
+// the semantic-enrichment extension of Sect. 4.1.1.
+func PathSimWith(pi, pj xmltree.Path, tagSim semantics.TagSimilarity) float64 {
+	n, m := len(pi), len(pj)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 1
+		}
+		return 0
+	}
+	total := 0.0
+	for h, t := range pi {
+		total += bestTagMatch(t, pj, h+1, tagSim)
+	}
+	for k, t := range pj {
+		total += bestTagMatch(t, pi, k+1, tagSim)
+	}
+	return total / float64(n+m)
+}
+
+// bestTagMatch is s(t, p, a) with 1-based position a.
+func bestTagMatch(t string, p xmltree.Path, a int, tagSim semantics.TagSimilarity) float64 {
+	best := 0.0
+	for l1, tl := range p {
+		d := tagSim.Sim(t, tl)
+		if d == 0 {
+			continue
+		}
+		l := l1 + 1
+		dist := a - l
+		if dist < 0 {
+			dist = -dist
+		}
+		v := d / float64(1+dist)
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Content returns simC: the cosine similarity of the two items' TCU vectors.
+func (cx *Context) Content(a, b *txn.Item) float64 {
+	return vector.Cosine(a.Vector, b.Vector)
+}
+
+// Item returns sim(ei, ej) = f·simS + (1−f)·simC (Eq. 1).
+func (cx *Context) Item(a, b *txn.Item) float64 {
+	cx.Counters.ItemSims.Add(1)
+	f := cx.Params.F
+	s := 0.0
+	if f > 0 {
+		s += f * cx.Structural(a, b)
+	}
+	if f < 1 {
+		s += (1 - f) * cx.Content(a, b)
+	}
+	return s
+}
+
+// ItemIDs is Item on interned ids.
+func (cx *Context) ItemIDs(a, b txn.ItemID) float64 {
+	return cx.Item(cx.Items.Get(a), cx.Items.Get(b))
+}
+
+// Matched reports γ-matching of two items (Eq. 2).
+func (cx *Context) Matched(a, b *txn.Item) bool {
+	return cx.Item(a, b) >= cx.Params.Gamma
+}
+
+// MatchSet computes matchγ(tr1, tr2) = matchγ(tr1→tr2) ∪ matchγ(tr2→tr1):
+// the set of γ-shared items. An item e ∈ tr_i belongs to matchγ(tr_i→tr_j)
+// iff some e_h ∈ tr_j has sim(e, e_h) ≥ γ and no other item of tr_i matches
+// that e_h strictly better (ties all qualify).
+//
+// The pairwise similarity matrix is computed once and reused for both
+// directions.
+func (cx *Context) MatchSet(tr1, tr2 *txn.Transaction) map[txn.ItemID]struct{} {
+	n1, n2 := tr1.Len(), tr2.Len()
+	shared := make(map[txn.ItemID]struct{}, n1+n2)
+	if n1 == 0 || n2 == 0 {
+		return shared
+	}
+	items1 := make([]*txn.Item, n1)
+	for i, id := range tr1.Items {
+		items1[i] = cx.Items.Get(id)
+	}
+	items2 := make([]*txn.Item, n2)
+	for j, id := range tr2.Items {
+		items2[j] = cx.Items.Get(id)
+	}
+	simM := make([]float64, n1*n2)
+	for i, a := range items1 {
+		row := simM[i*n2 : (i+1)*n2]
+		for j, b := range items2 {
+			row[j] = cx.Item(a, b)
+		}
+	}
+	gamma := cx.Params.Gamma
+	// Direction tr1 → tr2: for each e_h ∈ tr2, the best matchers from tr1.
+	for j := 0; j < n2; j++ {
+		best := -1.0
+		for i := 0; i < n1; i++ {
+			if s := simM[i*n2+j]; s > best {
+				best = s
+			}
+		}
+		if best < gamma {
+			continue
+		}
+		for i := 0; i < n1; i++ {
+			if simM[i*n2+j] == best {
+				shared[tr1.Items[i]] = struct{}{}
+			}
+		}
+	}
+	// Direction tr2 → tr1.
+	for i := 0; i < n1; i++ {
+		best := -1.0
+		for j := 0; j < n2; j++ {
+			if s := simM[i*n2+j]; s > best {
+				best = s
+			}
+		}
+		if best < gamma {
+			continue
+		}
+		for j := 0; j < n2; j++ {
+			if simM[i*n2+j] == best {
+				shared[tr2.Items[j]] = struct{}{}
+			}
+		}
+	}
+	return shared
+}
+
+// Transactions computes simγJ(tr1, tr2) = |matchγ(tr1,tr2)| / |tr1 ∪ tr2|
+// (Eq. 4), in [0,1].
+func (cx *Context) Transactions(tr1, tr2 *txn.Transaction) float64 {
+	cx.Counters.TxnSims.Add(1)
+	u := txn.UnionSize(tr1, tr2)
+	if u == 0 {
+		return 0
+	}
+	return float64(len(cx.MatchSet(tr1, tr2))) / float64(u)
+}

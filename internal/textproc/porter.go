@@ -1,0 +1,297 @@
+package textproc
+
+// Porter stemming algorithm, implemented from the original description:
+// M.F. Porter, "An algorithm for suffix stripping", Program 14(3), 1980.
+//
+// The implementation operates on ASCII lowercase words; tokens containing
+// non-ASCII letters are returned unchanged. It follows the five-step
+// structure of the original paper, including the m() measure, *v*, *d and
+// *o conditions.
+
+// Stem returns the Porter stem of a lowercase word.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c < 'a' || c > 'z' {
+			if c < '0' || c > '9' {
+				return word // non-ASCII or mixed token: leave as is
+			}
+		}
+	}
+	s := &stemmer{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemmer struct {
+	b []byte
+	// j marks the end (inclusive) of the stem candidate during suffix checks.
+	j int
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m() for the prefix b[0..s.j]: the number of VC sequences.
+func (s *stemmer) measure() int {
+	n, i := 0, 0
+	for {
+		if i > s.j {
+			return n
+		}
+		if !s.isConsonant(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > s.j {
+				return n
+			}
+			if s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > s.j {
+				return n
+			}
+			if !s.isConsonant(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports *v*: the prefix b[0..s.j] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports *d: b[i-1..i] is a double consonant.
+func (s *stemmer) doubleConsonant(i int) bool {
+	if i < 1 {
+		return false
+	}
+	if s.b[i] != s.b[i-1] {
+		return false
+	}
+	return s.isConsonant(i)
+}
+
+// cvc reports *o for the prefix ending at i: consonant-vowel-consonant where
+// the final consonant is not w, x or y.
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.isConsonant(i) || s.isConsonant(i-1) || !s.isConsonant(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends checks whether the word ends with suffix; if so it sets s.j to the
+// last index of the stem part and returns true.
+func (s *stemmer) ends(suffix string) bool {
+	n := len(suffix)
+	if n > len(s.b) {
+		return false
+	}
+	if string(s.b[len(s.b)-n:]) != suffix {
+		return false
+	}
+	s.j = len(s.b) - n - 1
+	return true
+}
+
+// setTo replaces the suffix after s.j with repl.
+func (s *stemmer) setTo(repl string) {
+	s.b = append(s.b[:s.j+1], repl...)
+}
+
+// r replaces the suffix with repl when m() > 0.
+func (s *stemmer) r(repl string) {
+	if s.measure() > 0 {
+		s.setTo(repl)
+	}
+}
+
+// step1a handles plurals: sses→ss, ies→i, ss→ss, s→"".
+func (s *stemmer) step1a() {
+	if len(s.b) == 0 || s.b[len(s.b)-1] != 's' {
+		return
+	}
+	switch {
+	case s.ends("sses"):
+		s.b = s.b[:len(s.b)-2]
+	case s.ends("ies"):
+		s.setTo("i")
+	case len(s.b) >= 2 && s.b[len(s.b)-2] != 's':
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+// step1b handles -ed and -ing.
+func (s *stemmer) step1b() {
+	switch {
+	case s.ends("eed"):
+		if s.measure() > 0 {
+			s.b = s.b[:len(s.b)-1]
+		}
+		return
+	case s.ends("ed"):
+		if !s.vowelInStem() {
+			return
+		}
+		s.b = s.b[:s.j+1]
+	case s.ends("ing"):
+		if !s.vowelInStem() {
+			return
+		}
+		s.b = s.b[:s.j+1]
+	default:
+		return
+	}
+	// Post-processing after removing -ed/-ing.
+	switch {
+	case s.endsNoSet("at"), s.endsNoSet("bl"), s.endsNoSet("iz"):
+		s.b = append(s.b, 'e')
+	case s.doubleConsonant(len(s.b) - 1):
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	default:
+		s.j = len(s.b) - 1
+		if s.measure() == 1 && s.cvc(len(s.b)-1) {
+			s.b = append(s.b, 'e')
+		}
+	}
+}
+
+// endsNoSet is ends without the implicit contract that s.j is used later.
+func (s *stemmer) endsNoSet(suffix string) bool {
+	n := len(suffix)
+	return n <= len(s.b) && string(s.b[len(s.b)-n:]) == suffix
+}
+
+// step1c turns terminal y to i when there is a vowel in the stem.
+func (s *stemmer) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+type rule struct{ suffix, repl string }
+
+var step2Rules = []rule{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func (s *stemmer) step2() {
+	for _, r := range step2Rules {
+		if s.ends(r.suffix) {
+			s.r(r.repl)
+			return
+		}
+	}
+}
+
+var step3Rules = []rule{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (s *stemmer) step3() {
+	for _, r := range step3Rules {
+		if s.ends(r.suffix) {
+			s.r(r.repl)
+			return
+		}
+	}
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+// step4 removes derivational suffixes when m() > 1.
+func (s *stemmer) step4() {
+	if s.ends("ion") {
+		if s.j >= 0 && (s.b[s.j] == 's' || s.b[s.j] == 't') && s.measure() > 1 {
+			s.b = s.b[:s.j+1]
+		}
+		return
+	}
+	for _, suf := range step4Suffixes {
+		if s.ends(suf) {
+			if s.measure() > 1 {
+				s.b = s.b[:s.j+1]
+			}
+			return
+		}
+	}
+}
+
+// step5a removes a terminal e when m() > 1, or when m() == 1 and not *o.
+func (s *stemmer) step5a() {
+	if len(s.b) == 0 || s.b[len(s.b)-1] != 'e' {
+		return
+	}
+	s.j = len(s.b) - 2
+	m := s.measure()
+	if m > 1 || (m == 1 && !s.cvc(len(s.b)-2)) {
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+// step5b maps -ll to -l when m() > 1.
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n >= 2 && s.b[n-1] == 'l' && s.b[n-2] == 'l' {
+		s.j = n - 1
+		if s.measure() > 1 {
+			s.b = s.b[:n-1]
+		}
+	}
+}

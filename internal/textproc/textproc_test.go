@@ -1,0 +1,266 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"XML-based   clustering", []string{"xml", "based", "clustering"}},
+		{"year 2003", []string{"year", "2003"}},
+		{"", nil},
+		{"a b c", nil}, // single-rune tokens dropped
+		{"K-means", []string{"means"}},
+		{"état Über", []string{"état", "über"}},
+		{"foo_bar", []string{"foo", "bar"}},
+		{"e1,e2;e3", []string{"e1", "e2", "e3"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !eqStrings(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	for _, tok := range Tokenize("MiXeD CaSe TeXT") {
+		if tok != strings.ToLower(tok) {
+			t.Errorf("token %q not lowercase", tok)
+		}
+	}
+}
+
+func TestTokenizeProperty(t *testing.T) {
+	// Every token has length ≥ 2 and contains only letters/digits.
+	prop := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if len(tok) < 2 {
+				return false
+			}
+			for _, r := range tok {
+				if !isAlnum(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func isAlnum(r rune) bool {
+	return r == '_' || (r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') ||
+		r >= 0x80 || (r >= 'A' && r <= 'Z')
+}
+
+func TestStopwords(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "is", "a"} {
+		if !IsStopword(w) {
+			t.Errorf("expected %q to be a stopword", w)
+		}
+	}
+	for _, w := range []string{"clustering", "xml", "similarity", "peer"} {
+		if IsStopword(w) {
+			t.Errorf("did not expect %q to be a stopword", w)
+		}
+	}
+}
+
+// Porter reference pairs from the algorithm description and the classic
+// test vocabulary.
+func TestStemKnownPairs(t *testing.T) {
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		"clustering":     "cluster",
+		"documents":      "document",
+		"similarity":     "similar",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	if got := Stem("at"); got != "at" {
+		t.Errorf("Stem(at) = %q", got)
+	}
+	if got := Stem("über"); got != "über" {
+		t.Errorf("non-ASCII word must pass through, got %q", got)
+	}
+	if got := Stem("x2y"); got != "x2y" {
+		t.Errorf("alnum word should survive, got %q", got)
+	}
+}
+
+func TestStemIdempotentOnVocabulary(t *testing.T) {
+	// Stemming a stem may reduce it further in rare Porter cases; the
+	// important property for interning stability is determinism.
+	words := []string{"clustering", "clustered", "clusters", "collaborative",
+		"representatives", "transactions", "structural", "similarities"}
+	for _, w := range words {
+		a, b := Stem(w), Stem(w)
+		if a != b {
+			t.Errorf("Stem(%q) nondeterministic: %q vs %q", w, a, b)
+		}
+	}
+}
+
+func TestStemPropertyNoGrowth(t *testing.T) {
+	prop := func(s string) bool {
+		w := strings.ToLower(s)
+		return len(Stem(w)) <= len(w)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStemFamiliesCollapse(t *testing.T) {
+	families := [][]string{
+		{"cluster", "clusters", "clustered", "clustering"},
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"relate", "related", "relating"},
+	}
+	for _, fam := range families {
+		stem := Stem(fam[0])
+		for _, w := range fam[1:] {
+			if got := Stem(w); got != stem {
+				t.Errorf("family %v: Stem(%q)=%q, want %q", fam, w, got, stem)
+			}
+		}
+	}
+}
+
+func TestPreprocessPipeline(t *testing.T) {
+	got := Preprocess("The Clustering of XML Documents, and their Structures!")
+	want := []string{"cluster", "xml", "document", "structur"}
+	if !eqStrings(got, want) {
+		t.Errorf("Preprocess = %v, want %v", got, want)
+	}
+}
+
+func TestPreprocessDropsStopwordStems(t *testing.T) {
+	// "being" stems to "be" which is a stopword and too short.
+	got := Preprocess("being there")
+	for _, w := range got {
+		if IsStopword(w) || len(w) < 2 {
+			t.Errorf("Preprocess leaked %q", w)
+		}
+	}
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"clustering", "collaborative", "representatives",
+		"transactions", "effectiveness", "traditional", "probabilistic"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkPreprocess(b *testing.B) {
+	text := "Clustering XML documents is extensively used to organize large " +
+		"collections of XML documents in groups that are coherent according " +
+		"to structure and content features"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Preprocess(text)
+	}
+}

@@ -1,0 +1,61 @@
+// Package textproc implements the language-specific text preprocessing the
+// paper relies on for textual content units (TCUs): lexical analysis,
+// stopword removal and word stemming (Sect. 4.1.2, footnote 1).
+//
+// The pipeline is deliberately self-contained (stdlib only): a Unicode-aware
+// tokenizer, a standard English stopword list and a from-scratch
+// implementation of the Porter stemming algorithm.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits raw text into lowercase word tokens. A token is a maximal
+// run of letters or digits; runs consisting only of digits are kept (years
+// such as "2003" are content-bearing in bibliographic data), while
+// single-rune tokens are dropped as noise.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		tok := b.String()
+		b.Reset()
+		if len(tok) < 2 {
+			return
+		}
+		tokens = append(tokens, tok)
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Preprocess runs the full pipeline used to turn a TCU's raw text into index
+// terms: tokenization, stopword removal and Porter stemming.
+func Preprocess(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if IsStopword(t) {
+			continue
+		}
+		s := Stem(t)
+		if len(s) < 2 || IsStopword(s) {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+// Package txn implements the transactional model for XML tree tuples
+// (Sect. 3.3 of the paper): the item domain is built over the leaves of the
+// tree tuple collection — each item is a pair ⟨complete path, answer⟩ — and
+// every tree tuple becomes a transaction, i.e. the set of items of its
+// leaves. Items are interned collection-wide so that identical
+// path/answer combinations map to one identifier (cf. Fig. 4(b)).
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"xmlclust/internal/vector"
+	"xmlclust/internal/xmltree"
+)
+
+// ItemID identifies an interned tree tuple item.
+type ItemID int32
+
+// Item is an XML tree tuple item ⟨p, Aτ(p)⟩ plus the derived artifacts the
+// clustering pipeline needs: the interned tag-path prefix for structural
+// similarity and the ttf.itf-weighted TCU vector for content similarity.
+type Item struct {
+	ID      ItemID
+	Path    xmltree.PathID // complete path p
+	TagPath xmltree.PathID // p without its trailing @attr/S symbol
+	Answer  string         // the answer string (TCU raw text)
+	// Vector is the weighted textual content unit vector. It is assigned
+	// once by the weighting stage (or at conflation time for synthetic
+	// items) and read-only afterwards.
+	Vector vector.Sparse
+	// Synthetic marks items created by conflateItems during representative
+	// generation rather than extracted from a document.
+	Synthetic bool
+	// Constituents lists the raw (non-synthetic) items a synthetic item was
+	// conflated from, sorted ascending; nil for raw items. Keeping the
+	// decomposition lets repeated conflation stay exact (no double-counted
+	// content when representatives are themselves merged).
+	Constituents []ItemID
+}
+
+// Flatten returns the raw constituent ids of an item: itself when raw, its
+// Constituents when synthetic.
+func (i *Item) Flatten() []ItemID {
+	if i.Constituents == nil {
+		return []ItemID{i.ID}
+	}
+	return i.Constituents
+}
+
+type itemKey struct {
+	path   xmltree.PathID
+	answer string
+}
+
+// ItemTable interns items by (complete path, answer). It is safe for
+// concurrent use: peers conflate representative items concurrently.
+type ItemTable struct {
+	paths *xmltree.PathTable
+
+	mu    sync.RWMutex
+	byKey map[itemKey]ItemID
+	items []*Item
+}
+
+// NewItemTable creates an empty table bound to a path table.
+func NewItemTable(paths *xmltree.PathTable) *ItemTable {
+	return &ItemTable{paths: paths, byKey: make(map[itemKey]ItemID)}
+}
+
+// Paths returns the bound path table.
+func (it *ItemTable) Paths() *xmltree.PathTable { return it.paths }
+
+// Intern returns the id of the item ⟨path, answer⟩, registering it if new.
+func (it *ItemTable) Intern(path xmltree.PathID, answer string) ItemID {
+	key := itemKey{path: path, answer: answer}
+	it.mu.RLock()
+	id, ok := it.byKey[key]
+	it.mu.RUnlock()
+	if ok {
+		return id
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if id, ok := it.byKey[key]; ok {
+		return id
+	}
+	id = ItemID(len(it.items))
+	it.items = append(it.items, &Item{
+		ID:      id,
+		Path:    path,
+		TagPath: it.paths.TagPath(path),
+		Answer:  answer,
+	})
+	it.byKey[key] = id
+	return id
+}
+
+// InternSynthetic interns a conflated item carrying a pre-merged vector and
+// its raw constituent decomposition. The answer must already be the
+// canonical merged-answer key so equal conflations intern to equal ids.
+func (it *ItemTable) InternSynthetic(path xmltree.PathID, answer string, vec vector.Sparse, constituents []ItemID) ItemID {
+	key := itemKey{path: path, answer: answer}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if id, ok := it.byKey[key]; ok {
+		return id
+	}
+	id := ItemID(len(it.items))
+	it.items = append(it.items, &Item{
+		ID:           id,
+		Path:         path,
+		TagPath:      it.paths.TagPath(path),
+		Answer:       answer,
+		Vector:       vec,
+		Synthetic:    true,
+		Constituents: append([]ItemID(nil), constituents...),
+	})
+	it.byKey[key] = id
+	return id
+}
+
+// Get returns the item for id. The returned pointer is shared; callers must
+// treat it as read-only (except the weighting stage, which runs before any
+// concurrent access).
+func (it *ItemTable) Get(id ItemID) *Item {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	return it.items[id]
+}
+
+// Len returns the number of interned items.
+func (it *ItemTable) Len() int {
+	it.mu.RLock()
+	defer it.mu.RUnlock()
+	return len(it.items)
+}
+
+// SetVector assigns the weighted TCU vector of an item (weighting stage).
+func (it *ItemTable) SetVector(id ItemID, v vector.Sparse) {
+	it.mu.Lock()
+	it.items[id].Vector = v
+	it.mu.Unlock()
+}
+
+// MergedAnswerKey canonicalizes a set of answers for conflated items: the
+// distinct answers, sorted, joined with the unit separator.
+func MergedAnswerKey(answers []string) string {
+	set := map[string]struct{}{}
+	for _, a := range answers {
+		if a != "" {
+			set[a] = struct{}{}
+		}
+	}
+	distinct := make([]string, 0, len(set))
+	for a := range set {
+		distinct = append(distinct, a)
+	}
+	sort.Strings(distinct)
+	return strings.Join(distinct, "\x1f")
+}
+
+// String renders an item for debugging.
+func (i *Item) String() string {
+	return fmt.Sprintf("e%d⟨%v,%q⟩", i.ID, i.Path, i.Answer)
+}

@@ -1,0 +1,136 @@
+package txn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"xmlclust/internal/vector"
+	"xmlclust/internal/xmltree"
+)
+
+// persistFormat versions the on-disk corpus encoding.
+const persistFormat = 1
+
+// wireCorpus is the gob representation of a preprocessed corpus. Trees are
+// not persisted — a corpus is self-contained for clustering (the
+// transactions and weighted items carry everything the algorithms read).
+type wireCorpus struct {
+	Format        int
+	Paths         []string
+	Terms         []string
+	Items         []wireItem
+	Transactions  []wireTransaction
+	TruncatedDocs int
+	MaxDepth      int
+}
+
+type wireItem struct {
+	Path         int32
+	Answer       string
+	Vector       []vector.Entry
+	Synthetic    bool
+	Constituents []ItemID
+}
+
+type wireTransaction struct {
+	Items      []ItemID
+	Doc        int
+	TupleIndex int
+	Label      int
+}
+
+// Save serializes the corpus (without source trees) so preprocessing can be
+// done once and reused across clustering runs.
+func (c *Corpus) Save(w io.Writer) error {
+	wc := wireCorpus{
+		Format:        persistFormat,
+		TruncatedDocs: c.TruncatedDocs,
+		MaxDepth:      c.MaxDepth,
+	}
+	for i := 0; i < c.Paths.Len(); i++ {
+		wc.Paths = append(wc.Paths, c.Paths.Path(xmltree.PathID(i)).String())
+	}
+	for i := 0; i < c.Terms.Len(); i++ {
+		wc.Terms = append(wc.Terms, c.Terms.Term(int32(i)))
+	}
+	for i := 0; i < c.Items.Len(); i++ {
+		it := c.Items.Get(ItemID(i))
+		wc.Items = append(wc.Items, wireItem{
+			Path:         int32(it.Path),
+			Answer:       it.Answer,
+			Vector:       it.Vector.Entries(),
+			Synthetic:    it.Synthetic,
+			Constituents: it.Constituents,
+		})
+	}
+	for _, tr := range c.Transactions {
+		wc.Transactions = append(wc.Transactions, wireTransaction{
+			Items: tr.Items, Doc: tr.Doc, TupleIndex: tr.TupleIndex, Label: tr.Label,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(wc); err != nil {
+		return fmt.Errorf("txn: save corpus: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a corpus written by Save. The returned corpus has no
+// source trees (Trees is nil); everything the clustering pipeline needs is
+// restored, including interning-table identities.
+func Load(r io.Reader) (*Corpus, error) {
+	var wc wireCorpus
+	if err := gob.NewDecoder(r).Decode(&wc); err != nil {
+		return nil, fmt.Errorf("txn: load corpus: %w", err)
+	}
+	if wc.Format != persistFormat {
+		return nil, fmt.Errorf("txn: unsupported corpus format %d", wc.Format)
+	}
+	paths := xmltree.NewPathTable()
+	for i, p := range wc.Paths {
+		if id := paths.Intern(xmltree.ParsePath(p)); int(id) != i {
+			return nil, fmt.Errorf("txn: corrupt path table at %d (%q)", i, p)
+		}
+	}
+	terms := NewTermTable()
+	for i, t := range wc.Terms {
+		if id := terms.Intern(t); int(id) != i {
+			return nil, fmt.Errorf("txn: corrupt term table at %d (%q)", i, t)
+		}
+	}
+	items := NewItemTable(paths)
+	for i, wi := range wc.Items {
+		if wi.Path < 0 || int(wi.Path) >= paths.Len() {
+			return nil, fmt.Errorf("txn: item %d references unknown path %d", i, wi.Path)
+		}
+		var id ItemID
+		if wi.Synthetic {
+			id = items.InternSynthetic(xmltree.PathID(wi.Path), wi.Answer, vector.FromEntries(wi.Vector), wi.Constituents)
+		} else {
+			id = items.Intern(xmltree.PathID(wi.Path), wi.Answer)
+			items.SetVector(id, vector.FromEntries(wi.Vector))
+		}
+		if int(id) != i {
+			return nil, fmt.Errorf("txn: corrupt item table at %d", i)
+		}
+	}
+	c := &Corpus{
+		Paths:         paths,
+		Items:         items,
+		Terms:         terms,
+		TruncatedDocs: wc.TruncatedDocs,
+		MaxDepth:      wc.MaxDepth,
+	}
+	n := items.Len()
+	for i, wt := range wc.Transactions {
+		for _, id := range wt.Items {
+			if id < 0 || int(id) >= n {
+				return nil, fmt.Errorf("txn: transaction %d references unknown item %d", i, id)
+			}
+		}
+		c.Transactions = append(c.Transactions, &Transaction{
+			Items: wt.Items, Doc: wt.Doc, TupleIndex: wt.TupleIndex, Label: wt.Label,
+		})
+	}
+	return c, nil
+}

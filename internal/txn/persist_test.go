@@ -1,0 +1,113 @@
+package txn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xmlclust/internal/vector"
+	"xmlclust/internal/xmltree"
+)
+
+func roundtrip(t *testing.T, c *Corpus) *Corpus {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestPersistRoundtrip(t *testing.T) {
+	c := buildPaperCorpus(t)
+	// Give a couple of items vectors and add a synthetic one, as a
+	// clustered corpus would have.
+	c.Items.SetVector(0, vector.FromMap(map[int32]float64{1: 0.5, 3: 1.5}))
+	c.Terms.Intern("zaki")
+	c.Terms.Intern("mine")
+	it0 := c.Items.Get(0)
+	syn := c.Items.InternSynthetic(it0.Path, MergedAnswerKey([]string{"a", "b"}),
+		vector.FromMap(map[int32]float64{2: 1}), []ItemID{0, 1})
+
+	back := roundtrip(t, c)
+	if back.Items.Len() != c.Items.Len() {
+		t.Fatalf("items %d != %d", back.Items.Len(), c.Items.Len())
+	}
+	if back.Paths.Len() != c.Paths.Len() || back.Terms.Len() != c.Terms.Len() {
+		t.Fatal("table sizes differ")
+	}
+	if len(back.Transactions) != len(c.Transactions) {
+		t.Fatal("transaction counts differ")
+	}
+	for i, tr := range c.Transactions {
+		if !tr.Equal(back.Transactions[i]) {
+			t.Fatalf("transaction %d differs", i)
+		}
+		if back.Transactions[i].Doc != tr.Doc || back.Transactions[i].Label != tr.Label {
+			t.Fatalf("transaction %d metadata differs", i)
+		}
+	}
+	for i := 0; i < c.Items.Len(); i++ {
+		a, b := c.Items.Get(ItemID(i)), back.Items.Get(ItemID(i))
+		if a.Answer != b.Answer || a.Path != b.Path || a.Synthetic != b.Synthetic {
+			t.Fatalf("item %d differs: %+v vs %+v", i, a, b)
+		}
+		if !vector.Equal(a.Vector, b.Vector) {
+			t.Fatalf("item %d vector differs", i)
+		}
+	}
+	// Synthetic constituents survive.
+	bs := back.Items.Get(syn)
+	if len(bs.Constituents) != 2 || bs.Constituents[0] != 0 || bs.Constituents[1] != 1 {
+		t.Fatalf("synthetic constituents = %v", bs.Constituents)
+	}
+	// Interning identity: re-interning an existing pair yields the old id.
+	if got := back.Items.Intern(it0.Path, it0.Answer); got != 0 {
+		t.Errorf("re-intern gave %d, want 0", got)
+	}
+}
+
+func TestPersistEmptyCorpus(t *testing.T) {
+	c := Build(nil, BuildOptions{})
+	back := roundtrip(t, c)
+	if len(back.Transactions) != 0 || back.Items.Len() != 0 {
+		t.Error("empty corpus roundtrip not empty")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestLoadWrongFormat(t *testing.T) {
+	c := buildPaperCorpus(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the format by re-encoding with a bumped version marker: the
+	// easiest reliable corruption is truncating the stream.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}
+
+func TestPersistPreservesMaxDepthAndTruncation(t *testing.T) {
+	tree, _ := xmltree.ParseString(paperDoc, xmltree.DefaultParseOptions())
+	c := Build([]*xmltree.Tree{tree}, BuildOptions{})
+	c.TruncatedDocs = 3
+	back := roundtrip(t, c)
+	if back.MaxDepth != c.MaxDepth || back.TruncatedDocs != 3 {
+		t.Errorf("metadata lost: %+v", back)
+	}
+}

@@ -1,0 +1,198 @@
+// Package vector provides immutable-by-convention sparse term vectors used
+// to represent textual content units (TCUs). Components are kept sorted by
+// term id, so dot products and merges run in linear time.
+package vector
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Entry is a single (term id, weight) component of a sparse vector.
+type Entry struct {
+	Term   int32
+	Weight float64
+}
+
+// Sparse is a sparse vector with entries sorted by ascending term id.
+// The zero value is the empty vector, ready to use.
+type Sparse struct {
+	entries []Entry
+	norm    float64 // cached Euclidean norm; 0 means "not computed or empty"
+}
+
+// FromMap builds a sparse vector from a term→weight map. Zero weights are
+// dropped.
+func FromMap(m map[int32]float64) Sparse {
+	if len(m) == 0 {
+		return Sparse{}
+	}
+	entries := make([]Entry, 0, len(m))
+	for t, w := range m {
+		if w != 0 {
+			entries = append(entries, Entry{Term: t, Weight: w})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Term < entries[j].Term })
+	v := Sparse{entries: entries}
+	v.norm = v.computeNorm()
+	return v
+}
+
+// FromEntries builds a sparse vector from entries that must already be
+// sorted by term id with no duplicates; it panics otherwise. Use FromMap
+// when the input is unordered.
+func FromEntries(entries []Entry) Sparse {
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Term >= entries[i].Term {
+			panic(fmt.Sprintf("vector: entries not strictly sorted at %d", i))
+		}
+	}
+	v := Sparse{entries: entries}
+	v.norm = v.computeNorm()
+	return v
+}
+
+// Len returns the number of non-zero components.
+func (v Sparse) Len() int { return len(v.entries) }
+
+// IsZero reports whether the vector has no non-zero components.
+func (v Sparse) IsZero() bool { return len(v.entries) == 0 }
+
+// Entries exposes the underlying components. Callers must not mutate the
+// returned slice.
+func (v Sparse) Entries() []Entry { return v.entries }
+
+// Weight returns the weight of term t (0 when absent).
+func (v Sparse) Weight(t int32) float64 {
+	i := sort.Search(len(v.entries), func(i int) bool { return v.entries[i].Term >= t })
+	if i < len(v.entries) && v.entries[i].Term == t {
+		return v.entries[i].Weight
+	}
+	return 0
+}
+
+func (v Sparse) computeNorm() float64 {
+	var s float64
+	for _, e := range v.entries {
+		s += e.Weight * e.Weight
+	}
+	return math.Sqrt(s)
+}
+
+// Norm returns the Euclidean norm.
+func (v Sparse) Norm() float64 { return v.norm }
+
+// Dot returns the inner product of two sparse vectors in O(len(a)+len(b)).
+func Dot(a, b Sparse) float64 {
+	var s float64
+	i, j := 0, 0
+	for i < len(a.entries) && j < len(b.entries) {
+		ta, tb := a.entries[i].Term, b.entries[j].Term
+		switch {
+		case ta == tb:
+			s += a.entries[i].Weight * b.entries[j].Weight
+			i++
+			j++
+		case ta < tb:
+			i++
+		default:
+			j++
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of a and b in [0,1] for non-negative
+// weights. The cosine of anything with the zero vector is 0.
+func Cosine(a, b Sparse) float64 {
+	if a.IsZero() || b.IsZero() {
+		return 0
+	}
+	c := Dot(a, b) / (a.norm * b.norm)
+	// Clamp rounding noise so downstream threshold comparisons are exact.
+	if c > 1 {
+		c = 1
+	} else if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Add returns the component-wise sum of a and b.
+func Add(a, b Sparse) Sparse {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	out := make([]Entry, 0, len(a.entries)+len(b.entries))
+	i, j := 0, 0
+	for i < len(a.entries) && j < len(b.entries) {
+		ta, tb := a.entries[i].Term, b.entries[j].Term
+		switch {
+		case ta == tb:
+			w := a.entries[i].Weight + b.entries[j].Weight
+			if w != 0 {
+				out = append(out, Entry{Term: ta, Weight: w})
+			}
+			i++
+			j++
+		case ta < tb:
+			out = append(out, a.entries[i])
+			i++
+		default:
+			out = append(out, b.entries[j])
+			j++
+		}
+	}
+	out = append(out, a.entries[i:]...)
+	out = append(out, b.entries[j:]...)
+	v := Sparse{entries: out}
+	v.norm = v.computeNorm()
+	return v
+}
+
+// Scale returns v scaled by factor c.
+func Scale(v Sparse, c float64) Sparse {
+	if c == 0 || v.IsZero() {
+		return Sparse{}
+	}
+	out := make([]Entry, len(v.entries))
+	for i, e := range v.entries {
+		out[i] = Entry{Term: e.Term, Weight: e.Weight * c}
+	}
+	sv := Sparse{entries: out}
+	sv.norm = math.Abs(c) * v.norm
+	return sv
+}
+
+// Equal reports exact component-wise equality.
+func Equal(a, b Sparse) bool {
+	if len(a.entries) != len(b.entries) {
+		return false
+	}
+	for i := range a.entries {
+		if a.entries[i] != b.entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector for debugging.
+func (v Sparse) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, e := range v.entries {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%.3f", e.Term, e.Weight)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,157 @@
+// Package weighting implements the ttf.itf relevance weighting scheme of
+// Sect. 4.1.2 — Tree tuple Term Frequency · Inverse Tree tuple Frequency —
+// used to build the textual content unit (TCU) vectors of tree tuple items:
+//
+//	ttf.itf(w_j, u_i | τ) = tf(w_j,u_i) · exp(n_{j,τ}/N_τ) · (n_{j,XT}/N_XT) · ln(N_T/n_{j,T})
+//
+// where N_τ (resp. n_{j,τ}) is the number of TCUs in the tuple τ (resp.
+// those containing w_j), N_XT/n_{j,XT} are the analogous counts at the
+// document-tree level and N_T/n_{j,T} at the whole-collection level.
+//
+// One interpretation point: an item ⟨p, answer⟩ can occur in several tuples
+// and trees (cf. item e5 in Fig. 4), so its context factors differ per
+// occurrence while the item is a single domain object. We assign to the
+// item the average of its per-occurrence ttf.itf weights; this keeps the
+// item domain well-defined without losing the context sensitivity of the
+// scheme (documented in DESIGN.md).
+package weighting
+
+import (
+	"math"
+
+	"xmlclust/internal/textproc"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/vector"
+)
+
+// Stats carries the collection-level counters computed during Apply,
+// exposed for tests and diagnostics.
+type Stats struct {
+	// TotalTCUs is N_T: the number of TCUs over all tree tuples.
+	TotalTCUs int
+	// Vocabulary is |V| after term interning.
+	Vocabulary int
+	// EmptyItems counts items whose preprocessed text is empty (their TCU
+	// vector is the zero vector; content similarity treats them as 0).
+	EmptyItems int
+}
+
+// Apply computes the ttf.itf TCU vector of every item in the corpus.
+// It must run once, after txn.Build and before clustering.
+func Apply(c *txn.Corpus) Stats {
+	nItems := c.Items.Len()
+	// Term multiset per item (tf maps), interned through the corpus table.
+	itemTF := make([]map[int32]int, nItems)
+	itemTerms := make([][]int32, nItems) // distinct terms, for set passes
+	for id := 0; id < nItems; id++ {
+		it := c.Items.Get(txn.ItemID(id))
+		tf := map[int32]int{}
+		for _, w := range textproc.Preprocess(it.Answer) {
+			tf[c.Terms.Intern(w)]++
+		}
+		itemTF[id] = tf
+		terms := make([]int32, 0, len(tf))
+		for t := range tf {
+			terms = append(terms, t)
+		}
+		itemTerms[id] = terms
+	}
+
+	// Collection-level counters, following the tuple-multiplicity reading:
+	// N_T = Σ_τ N_τ and n_{j,T} = Σ_τ n_{j,τ}.
+	nT := 0
+	njT := map[int32]int{}
+	// Per-document (tree) counters over the document's distinct items.
+	type docStat struct {
+		nXT  int
+		njXT map[int32]int
+	}
+	docStats := map[int]*docStat{}
+	docItems := map[int]map[txn.ItemID]struct{}{}
+	for _, tr := range c.Transactions {
+		nT += tr.Len()
+		for _, id := range tr.Items {
+			seen := map[int32]struct{}{}
+			for _, t := range itemTerms[id] {
+				seen[t] = struct{}{}
+			}
+			for t := range seen {
+				njT[t]++
+			}
+			di, ok := docItems[tr.Doc]
+			if !ok {
+				di = map[txn.ItemID]struct{}{}
+				docItems[tr.Doc] = di
+			}
+			di[id] = struct{}{}
+		}
+	}
+	for doc, items := range docItems {
+		ds := &docStat{njXT: map[int32]int{}}
+		ds.nXT = len(items)
+		for id := range items {
+			for _, t := range itemTerms[id] {
+				ds.njXT[t]++
+			}
+		}
+		docStats[doc] = ds
+	}
+
+	// Per-occurrence context factors, accumulated per item then averaged.
+	type acc struct {
+		ctx map[int32]float64 // term → Σ exp(n_{j,τ}/N_τ)·(n_{j,XT}/N_XT)
+		n   int
+	}
+	accs := make([]acc, nItems)
+	for _, tr := range c.Transactions {
+		if tr.Len() == 0 {
+			continue
+		}
+		nTau := float64(tr.Len())
+		// n_{j,τ}: per-term count of TCUs (items) in this tuple.
+		njTau := map[int32]int{}
+		for _, id := range tr.Items {
+			for _, t := range itemTerms[id] {
+				njTau[t]++
+			}
+		}
+		ds := docStats[tr.Doc]
+		for _, id := range tr.Items {
+			a := &accs[id]
+			if a.ctx == nil {
+				a.ctx = map[int32]float64{}
+			}
+			a.n++
+			for _, t := range itemTerms[id] {
+				tupleFactor := math.Exp(float64(njTau[t]) / nTau)
+				treeFactor := float64(ds.njXT[t]) / float64(ds.nXT)
+				a.ctx[t] += tupleFactor * treeFactor
+			}
+		}
+	}
+
+	stats := Stats{TotalTCUs: nT}
+	for id := 0; id < nItems; id++ {
+		tf := itemTF[id]
+		if len(tf) == 0 {
+			stats.EmptyItems++
+			continue
+		}
+		a := accs[id]
+		weights := make(map[int32]float64, len(tf))
+		for t, f := range tf {
+			idf := math.Log(float64(nT) / float64(njT[t]))
+			avgCtx := 1.0
+			if a.n > 0 {
+				avgCtx = a.ctx[t] / float64(a.n)
+			}
+			w := float64(f) * avgCtx * idf
+			if w > 0 {
+				weights[t] = w
+			}
+		}
+		c.Items.SetVector(txn.ItemID(id), vector.FromMap(weights))
+	}
+	stats.Vocabulary = c.Terms.Len()
+	return stats
+}

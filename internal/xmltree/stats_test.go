@@ -1,0 +1,69 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCollectStats(t *testing.T) {
+	doc := `<r a="1"><x><y>deep</y></x><x><y>also deep</y></x><z>shallow</z></r>`
+	tree, err := ParseString(doc, DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Collect([]*Tree{tree})
+	if st.Documents != 1 {
+		t.Errorf("documents = %d", st.Documents)
+	}
+	// Nodes: r, @a, x, y, S, x, y, S, z, S = 10.
+	if st.Nodes != 10 {
+		t.Errorf("nodes = %d, want 10", st.Nodes)
+	}
+	// Leaves: @a, two deep S, one shallow S = 4.
+	if st.Leaves != 4 {
+		t.Errorf("leaves = %d, want 4", st.Leaves)
+	}
+	// r has 4 children (@a, x, x, z).
+	if st.MaxFanOut != 4 {
+		t.Errorf("max fanout = %d, want 4", st.MaxFanOut)
+	}
+	// r(1) → x(2) → y(3) → S(4).
+	if st.MaxDepth != 4 {
+		t.Errorf("max depth = %d, want 4", st.MaxDepth)
+	}
+	// Distinct complete paths: r.@a, r.x.y.S, r.z.S = 3.
+	if st.DistinctPaths != 3 {
+		t.Errorf("paths = %d, want 3", st.DistinctPaths)
+	}
+	// Tags: r, x, y, z.
+	if st.DistinctTags != 4 {
+		t.Errorf("tags = %d, want 4", st.DistinctTags)
+	}
+	// Avg leaf depth: (2 + 4 + 4 + 3)/4 = 3.25.
+	if got := st.AvgDepth(); got != 3.25 {
+		t.Errorf("avg depth = %v, want 3.25", got)
+	}
+}
+
+func TestCollectEmpty(t *testing.T) {
+	st := Collect(nil)
+	if st.Documents != 0 || st.Nodes != 0 || st.AvgDepth() != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	// Tree with nil root is skipped.
+	st = Collect([]*Tree{{}})
+	if st.Nodes != 0 {
+		t.Errorf("nil-root tree counted: %+v", st)
+	}
+}
+
+func TestStatsWrite(t *testing.T) {
+	tree, _ := ParseString(`<a><b>x</b></a>`, DefaultParseOptions())
+	var sb strings.Builder
+	Collect([]*Tree{tree}).Write(&sb)
+	for _, frag := range []string{"documents=1", "leaves=1", "max-depth=3"} {
+		if !strings.Contains(sb.String(), frag) {
+			t.Errorf("stats output missing %q: %s", frag, sb.String())
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package xmlclust
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+var sampleDocs = []string{
+	`<catalog><sw key="a1"><name>photo editor deluxe</name><vendor>acme soft</vendor><platform>linux</platform></sw></catalog>`,
+	`<catalog><sw key="a2"><name>photo editor classic</name><vendor>acme soft</vendor><platform>windows</platform></sw></catalog>`,
+	`<catalog><sw key="a3"><name>photo viewer basic</name><vendor>acme soft</vendor><platform>linux</platform></sw></catalog>`,
+	`<catalog><game key="b1"><title>space battle arena</title><studio>pixel works</studio><genre>arcade shooter</genre></game></catalog>`,
+	`<catalog><game key="b2"><title>space battle legends</title><studio>pixel works</studio><genre>arcade shooter</genre></game></catalog>`,
+	`<catalog><game key="b3"><title>castle battle siege</title><studio>pixel works</studio><genre>strategy battle</genre></game></catalog>`,
+}
+
+func sampleCorpus(t testing.TB) *Corpus {
+	t.Helper()
+	var trees []*Tree
+	labels := []int{0, 0, 0, 1, 1, 1}
+	for _, d := range sampleDocs {
+		tree, err := ParseString(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+	}
+	return BuildCorpus(trees, CorpusOptions{Labels: labels})
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	corpus := sampleCorpus(t)
+	if len(corpus.Transactions) != 6 {
+		t.Fatalf("transactions = %d, want 6", len(corpus.Transactions))
+	}
+	bestF := -1.0
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := Cluster(corpus, ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := Evaluate(Labels(corpus), res.Assign, 2); s.FMeasure > bestF {
+			bestF = s.FMeasure
+		}
+	}
+	if bestF < 0.9 {
+		t.Errorf("best F = %v on separable catalog", bestF)
+	}
+}
+
+func TestClusterDistributed(t *testing.T) {
+	corpus := sampleCorpus(t)
+	res, err := Cluster(corpus, ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Peers: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds == 0 {
+		t.Error("no rounds recorded")
+	}
+	if res.TrafficMsgs == 0 || res.TrafficBytes == 0 {
+		t.Error("no traffic recorded for m=3")
+	}
+	if res.SimulatedTime <= 0 || res.WallTime <= 0 {
+		t.Error("times not recorded")
+	}
+}
+
+func TestClusterPKMeansBaseline(t *testing.T) {
+	corpus := sampleCorpus(t)
+	res, err := Cluster(corpus, ClusterOptions{
+		K: 2, F: 0.5, Gamma: 0.6, Peers: 2, Seed: 4, Algorithm: PKMeans,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != len(corpus.Transactions) {
+		t.Error("assignment size mismatch")
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	corpus := sampleCorpus(t)
+	res, err := Cluster(corpus, ClusterOptions{
+		K: 2, F: 0.5, Gamma: 0.6, Peers: 2, Seed: 4, UseTCP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != len(corpus.Transactions) {
+		t.Error("assignment size mismatch")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	corpus := sampleCorpus(t)
+	if _, err := Cluster(corpus, ClusterOptions{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+}
+
+func TestDocumentClustersMajority(t *testing.T) {
+	corpus := sampleCorpus(t)
+	assign := make([]int, len(corpus.Transactions))
+	for i := range assign {
+		if corpus.Transactions[i].Doc < 3 {
+			assign[i] = 0
+		} else {
+			assign[i] = 1
+		}
+	}
+	dc := DocumentClusters(corpus, assign)
+	for doc, cl := range dc {
+		want := 0
+		if doc >= 3 {
+			want = 1
+		}
+		if cl != want {
+			t.Errorf("doc %d → cluster %d, want %d", doc, cl, want)
+		}
+	}
+}
+
+func TestDocumentClustersAllTrash(t *testing.T) {
+	corpus := sampleCorpus(t)
+	assign := make([]int, len(corpus.Transactions))
+	for i := range assign {
+		assign[i] = TrashCluster
+	}
+	for doc, cl := range DocumentClusters(corpus, assign) {
+		if cl != TrashCluster {
+			t.Errorf("doc %d should be trash, got %d", doc, cl)
+		}
+	}
+}
+
+func TestEvaluateScores(t *testing.T) {
+	labels := []int{0, 0, 1, 1}
+	s := Evaluate(labels, []int{0, 0, 1, 1}, 2)
+	if s.FMeasure != 1 || s.Purity != 1 || s.Trash != 0 {
+		t.Errorf("perfect scores = %+v", s)
+	}
+	s = Evaluate(labels, []int{-1, -1, -1, -1}, 2)
+	if s.Trash != 1 {
+		t.Errorf("all-trash = %+v", s)
+	}
+}
+
+func TestParseStringErrors(t *testing.T) {
+	if _, err := ParseString("not xml"); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestParseFilesMissing(t *testing.T) {
+	if _, err := ParseFiles([]string{"/nonexistent/file.xml"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	tree, err := Parse(strings.NewReader("<a><b>text</b></a>"), ParseOptions{ConcatenateText: true, KeepAttributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Label != "a" {
+		t.Errorf("root = %q", tree.Root.Label)
+	}
+}
+
+func TestSaveLoadCorpus(t *testing.T) {
+	corpus := sampleCorpus(t)
+	var buf bytes.Buffer
+	if err := SaveCorpus(&buf, corpus); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Transactions) != len(corpus.Transactions) {
+		t.Fatalf("transactions %d != %d", len(back.Transactions), len(corpus.Transactions))
+	}
+	// A loaded corpus clusters identically to the original.
+	a, err := Cluster(corpus, ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(back, ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs after save/load", i)
+		}
+	}
+}
