@@ -217,6 +217,31 @@ func BenchmarkAblationPathCache(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationWorkers sweeps the intra-peer worker count on the
+// centralized DBLP run (the Relocate/representative-bound path) and
+// reports the wall-clock speedup over the serial engine. The F column of
+// the printed table must not move: Workers is exact, the parallel engine
+// produces byte-identical output. On a single-core host the speedup
+// degenerates to ~1.0; with 4+ cores expect ≥ 1.5× at 4 workers.
+func BenchmarkAblationWorkers(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.WorkersAblation("DBLP", []int{1, 2, 4, 8}, scale, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printBench("abl-workers", func() { experiments.WriteWorkersAblation(os.Stdout, "DBLP", pts) })
+		for _, p := range pts {
+			if p.F != pts[0].F {
+				b.Fatalf("F moved with worker count: %v at w=%d vs %v serial", p.F, p.Workers, pts[0].F)
+			}
+			if p.Workers == 4 {
+				b.ReportMetric(p.Speedup, "speedup-4w")
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------- End-to-end
 
 // BenchmarkPipelineDBLP measures the full public-API pipeline (parse is

@@ -21,9 +21,10 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | semantics | cost | all")
-		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma)")
+		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | all")
+		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma/workers)")
 		scaleFl = flag.String("scale", "quick", "profile: quick | paper")
+		workers = flag.Int("workers", 1, "intra-peer worker goroutines (0 = one per CPU); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -31,8 +32,9 @@ func main() {
 	if *scaleFl == "paper" {
 		scale = experiments.PaperScale()
 	}
-	fmt.Printf("profile %q: docs=%v figMs=%v tableMs=%v seeds=%v\n\n",
-		scale.Name, scale.Docs, scale.FigMs, scale.TableMs, scale.Seeds)
+	scale.Workers = *workers
+	fmt.Printf("profile %q: docs=%v figMs=%v tableMs=%v seeds=%v workers=%d\n\n",
+		scale.Name, scale.Docs, scale.FigMs, scale.TableMs, scale.Seeds, scale.Workers)
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	datasets := dataset.Names()
@@ -103,6 +105,18 @@ func main() {
 		check(err)
 		experiments.WriteCacheAblation(os.Stdout, "DBLP", pts)
 		fmt.Println()
+	}
+	if want("workers") {
+		wSets := datasets
+		if *ds == "" {
+			wSets = []string{"DBLP"}
+		}
+		for _, d := range wSets {
+			pts, err := experiments.WorkersAblation(d, []int{1, 2, 4, 8}, scale, scale.Seeds[0])
+			check(err)
+			experiments.WriteWorkersAblation(os.Stdout, d, pts)
+			fmt.Println()
+		}
 	}
 	if want("semantics") {
 		pts, err := experiments.SemanticsAblation(scale, scale.Seeds[0])

@@ -26,6 +26,7 @@ func main() {
 		f       = flag.Float64("f", 0.5, "structure/content balance f ∈ [0,1]")
 		gamma   = flag.Float64("gamma", 0.7, "γ-matching threshold")
 		peers   = flag.Int("peers", 1, "number of P2P nodes (1 = centralized)")
+		workers = flag.Int("workers", 0, "worker goroutines per peer (0 = one per CPU, 1 = serial); output is identical for any value")
 		seed    = flag.Int64("seed", 1, "random seed")
 		tcp     = flag.Bool("tcp", false, "run peers over loopback TCP")
 		unequal = flag.Bool("unequal", false, "skewed data distribution (half the peers hold twice the data)")
@@ -88,8 +89,8 @@ func main() {
 	}
 
 	res, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
-		K: *k, F: *f, Gamma: *gamma, Peers: *peers, Seed: *seed,
-		UseTCP: *tcp, UnequalSplit: *unequal,
+		K: *k, F: *f, Gamma: *gamma, Peers: *peers, Workers: *workers,
+		Seed: *seed, UseTCP: *tcp, UnequalSplit: *unequal,
 	})
 	if err != nil {
 		fatal(err)

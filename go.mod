@@ -1,0 +1,3 @@
+module xmlclust
+
+go 1.24

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"xmlclust/internal/dataset"
 	"xmlclust/internal/sim"
 	"xmlclust/internal/txn"
 	"xmlclust/internal/weighting"
@@ -432,5 +433,119 @@ func BenchmarkXKMeans(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		XKMeans(cx, corpus.Transactions, Config{K: 2, Seed: int64(i)})
+	}
+}
+
+// ---------------------------------------------------------------- Workers
+
+// synthCorpus builds one of the synthetic corpora via the dataset
+// generators (used by the Workers-equivalence tests, which want varied
+// schema/content geometry rather than the toy two-topic docs).
+func synthCorpus(t testing.TB, ds string, docs int) (*txn.Corpus, int) {
+	t.Helper()
+	gen, ok := dataset.ByName(ds)
+	if !ok {
+		t.Fatalf("unknown dataset %q", ds)
+	}
+	col := gen(dataset.Spec{Docs: docs, Seed: 99})
+	corpus := col.BuildCorpus(dataset.ByHybrid, 24)
+	return corpus, col.K(dataset.ByHybrid)
+}
+
+// assertClusteringsEqual fails unless the two clusterings are
+// byte-identical: same assignments, sizes, iteration count and
+// representative item sets.
+func assertClusteringsEqual(t *testing.T, label string, want, got *Clustering) {
+	t.Helper()
+	if want.Iterations != got.Iterations {
+		t.Errorf("%s: iterations %d vs %d", label, want.Iterations, got.Iterations)
+	}
+	if len(want.Assign) != len(got.Assign) {
+		t.Fatalf("%s: assign length %d vs %d", label, len(want.Assign), len(got.Assign))
+	}
+	for i := range want.Assign {
+		if want.Assign[i] != got.Assign[i] {
+			t.Fatalf("%s: assignment %d differs: %d vs %d", label, i, want.Assign[i], got.Assign[i])
+		}
+	}
+	for j := range want.Sizes {
+		if want.Sizes[j] != got.Sizes[j] {
+			t.Errorf("%s: size of cluster %d differs: %d vs %d", label, j, want.Sizes[j], got.Sizes[j])
+		}
+	}
+	if !repsEqual(want.Reps, got.Reps) {
+		t.Errorf("%s: representatives differ", label)
+	}
+}
+
+// TestXKMeansWorkersEquivalence asserts the tentpole determinism guarantee:
+// for a fixed seed, Workers: N produces output byte-identical to
+// Workers: 1 — identical Assign, Reps, Sizes and Iterations — on several
+// synthetic corpora and seeds.
+func TestXKMeansWorkersEquivalence(t *testing.T) {
+	cases := []struct {
+		ds   string
+		docs int
+	}{
+		{"DBLP", 24},
+		{"IEEE", 6},
+		{"Shakespeare", 2},
+	}
+	for _, tc := range cases {
+		corpus, k := synthCorpus(t, tc.ds, tc.docs)
+		cx := ctxFor(corpus, 0.5, 0.7)
+		for _, seed := range []int64{3, 17} {
+			serial := XKMeans(cx, corpus.Transactions, Config{K: k, Seed: seed, Workers: 1})
+			for _, w := range []int{2, 4, 0} {
+				par := XKMeans(cx, corpus.Transactions, Config{K: k, Seed: seed, Workers: w})
+				assertClusteringsEqual(t, fmt.Sprintf("%s seed=%d workers=%d", tc.ds, seed, w), serial, par)
+			}
+		}
+	}
+}
+
+// TestRelocateWorkersEquivalence checks the relocation step alone across
+// worker counts, including the trash-cluster and tie-to-lowest-index rules.
+func TestRelocateWorkersEquivalence(t *testing.T) {
+	corpus, _ := synthCorpus(t, "DBLP", 16)
+	cx := ctxFor(corpus, 0.5, 0.7)
+	rng := rand.New(rand.NewSource(5))
+	reps := SelectInitial(corpus.Transactions, 4, rng)
+	reps = append(reps, nil) // nil reps must never win, under any schedule
+	serial := Relocate(cx, corpus.Transactions, reps)
+	for _, w := range []int{2, 3, 8, 0} {
+		got := RelocateWorkers(cx, corpus.Transactions, reps, w)
+		for i := range serial {
+			if serial[i] != got[i] {
+				t.Fatalf("workers=%d: assignment %d differs: %d vs %d", w, i, serial[i], got[i])
+			}
+		}
+	}
+}
+
+// TestRepresentativeWorkersEquivalence checks local and global
+// representative generation across worker counts and return rules.
+func TestRepresentativeWorkersEquivalence(t *testing.T) {
+	corpus, _ := synthCorpus(t, "IEEE", 6)
+	cx := ctxFor(corpus, 0.5, 0.7)
+	half := len(corpus.Transactions) / 2
+	for _, rule := range []ReturnRule{ReturnBestObjective, ReturnLastImproving, ReturnPrevious} {
+		serial := ComputeLocalRepresentative(RepConfig{Ctx: cx, Rule: rule, Workers: 1}, corpus.Transactions[:half])
+		for _, w := range []int{4, 0} {
+			got := ComputeLocalRepresentative(RepConfig{Ctx: cx, Rule: rule, Workers: w}, corpus.Transactions[:half])
+			if (serial == nil) != (got == nil) || (serial != nil && !serial.Equal(got)) {
+				t.Errorf("rule %d workers %d: local representative differs", rule, w)
+			}
+		}
+	}
+	l1 := ComputeLocalRepresentative(RepConfig{Ctx: cx, Workers: 1}, corpus.Transactions[:half])
+	l2 := ComputeLocalRepresentative(RepConfig{Ctx: cx, Workers: 1}, corpus.Transactions[half:])
+	wreps := []WeightedRep{{Rep: l1, Weight: half}, {Rep: l2, Weight: len(corpus.Transactions) - half}}
+	serial := ComputeGlobalRepresentative(RepConfig{Ctx: cx, Workers: 1}, wreps)
+	for _, w := range []int{4, 0} {
+		got := ComputeGlobalRepresentative(RepConfig{Ctx: cx, Workers: w}, wreps)
+		if (serial == nil) != (got == nil) || (serial != nil && !serial.Equal(got)) {
+			t.Errorf("workers %d: global representative differs", w)
+		}
 	}
 }

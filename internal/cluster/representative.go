@@ -7,6 +7,7 @@ package cluster
 import (
 	"sort"
 
+	"xmlclust/internal/parallel"
 	"xmlclust/internal/sim"
 	"xmlclust/internal/txn"
 	"xmlclust/internal/vector"
@@ -43,6 +44,11 @@ const (
 type RepConfig struct {
 	Ctx  *sim.Context
 	Rule ReturnRule
+	// Workers bounds the goroutines used for item ranking and refinement
+	// objectives (0/negative = one per CPU, 1 = serial). The output is
+	// byte-identical for any value: ranks are written into pre-indexed
+	// slots and objective sums are reduced in index order.
+	Workers int
 }
 
 // rankedItem pairs an item with its rank value.
@@ -147,10 +153,11 @@ func ComputeLocalRepresentative(cfg RepConfig, c []*txn.Transaction) *txn.Transa
 	csum := contentRankSums(items)
 	f := cx.Params.F
 	ranked := make([]rankedItem, len(items))
-	for i, it := range items {
+	parallel.For(cfg.Workers, len(items), func(i int) {
+		it := items[i]
 		r := f*structuralRank(cx, it, pg) + (1-f)*contentRank(it, csum)
 		ranked[i] = rankedItem{id: it.ID, rank: r}
-	}
+	})
 	sortRanked(ranked)
 	return generateTreeTuple(cfg, ranked, c)
 }
@@ -186,10 +193,11 @@ func ComputeGlobalRepresentative(cfg RepConfig, reps []WeightedRep) *txn.Transac
 	csum := contentRankSums(items)
 	f := cx.Params.F
 	ranked := make([]rankedItem, len(items))
-	for i, it := range items {
+	parallel.For(cfg.Workers, len(items), func(i int) {
+		it := items[i]
 		base := f*structuralRank(cx, it, pg) + (1-f)*contentRank(it, csum)
 		ranked[i] = rankedItem{id: it.ID, rank: float64(weightOf[it.ID]) * base}
-	}
+	})
 	sortRanked(ranked)
 	return generateTreeTuple(cfg, ranked, trs)
 }
@@ -211,12 +219,15 @@ func sortRanked(r []rankedItem) {
 func generateTreeTuple(cfg RepConfig, ranked []rankedItem, c []*txn.Transaction) *txn.Transaction {
 	cx := cfg.Ctx
 	trmax := txn.MaxTransactionLen(c)
+	// The objective Σ_{tr∈C} simγJ(tr, rep′) is the hot spot of
+	// representative generation: one transaction similarity per cluster
+	// member per refinement step. The terms are independent, so they are
+	// computed across the worker pool and reduced in index order (the
+	// float sum must not depend on the schedule).
 	objective := func(rep *txn.Transaction) float64 {
-		s := 0.0
-		for _, tr := range c {
-			s += cx.Transactions(tr, rep)
-		}
-		return s
+		return parallel.Sum(cfg.Workers, len(c), func(i int) float64 {
+			return cx.Transactions(c[i], rep)
+		})
 	}
 	// Batch size: rank ties always travel together; under
 	// ReturnBestObjective batches additionally have a minimum size so the

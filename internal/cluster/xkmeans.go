@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"xmlclust/internal/parallel"
 	"xmlclust/internal/sim"
 	"xmlclust/internal/txn"
 )
@@ -24,6 +25,11 @@ type Config struct {
 	Seed int64
 	// Rule selects the GenerateTreeTuple return reading.
 	Rule ReturnRule
+	// Workers bounds the goroutines used by the similarity-heavy loops
+	// (relocation, item ranking, refinement objectives). 0 or negative
+	// means one worker per CPU; 1 forces the serial path. Any value
+	// produces output byte-identical to Workers: 1 for a fixed Seed.
+	Workers int
 }
 
 // DefaultMaxIter is the safety bound on clustering iterations.
@@ -105,8 +111,19 @@ func SelectInitial(s []*txn.Transaction, q int, rng *rand.Rand) []*txn.Transacti
 // representatives joins the trash cluster; the others join the argmax
 // cluster (ties to the lowest index). nil reps never win.
 func Relocate(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction) []int {
+	return RelocateWorkers(cx, s, reps, 1)
+}
+
+// RelocateWorkers is Relocate spread over a worker pool. Transactions are
+// independent under a fixed representative set, so each worker computes the
+// argmax for the indices it draws and writes into the pre-indexed slot of
+// the assignment slice; tie-breaking (lowest cluster index) happens inside
+// the per-transaction scan, so the result is byte-identical to the serial
+// Relocate for any worker count.
+func RelocateWorkers(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction, workers int) []int {
 	assign := make([]int, len(s))
-	for i, tr := range s {
+	parallel.For(workers, len(s), func(i int) {
+		tr := s[i]
 		best, bestJ := 0.0, TrashCluster
 		for j, rep := range reps {
 			if rep == nil || rep.Len() == 0 {
@@ -118,7 +135,7 @@ func Relocate(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction) []
 			}
 		}
 		assign[i] = bestJ
-	}
+	})
 	return assign
 }
 
@@ -132,7 +149,7 @@ func XKMeans(cx *sim.Context, s []*txn.Transaction, cfg Config) *Clustering {
 		maxIter = DefaultMaxIter
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	repCfg := RepConfig{Ctx: cx, Rule: cfg.Rule}
+	repCfg := RepConfig{Ctx: cx, Rule: cfg.Rule, Workers: cfg.Workers}
 
 	reps := make([]*txn.Transaction, k)
 	for i, tr := range SelectInitial(s, k, rng) {
@@ -144,7 +161,7 @@ func XKMeans(cx *sim.Context, s []*txn.Transaction, cfg Config) *Clustering {
 	}
 	for iter := 0; iter < maxIter; iter++ {
 		cl.Iterations = iter + 1
-		assign := Relocate(cx, s, reps)
+		assign := RelocateWorkers(cx, s, reps, cfg.Workers)
 		newReps := make([]*txn.Transaction, k)
 		members := make([][]*txn.Transaction, k)
 		for i, a := range assign {
@@ -152,6 +169,11 @@ func XKMeans(cx *sim.Context, s []*txn.Transaction, cfg Config) *Clustering {
 				members[a] = append(members[a], s[i])
 			}
 		}
+		// The cluster loop stays ordered: representative generation interns
+		// synthetic items, and interning order must not depend on the
+		// schedule (item ids are assigned sequentially). The worker pool
+		// parallelizes *inside* each representative computation — ranking
+		// and refinement objectives are where the similarity time goes.
 		for j := 0; j < k; j++ {
 			if len(members[j]) == 0 {
 				newReps[j] = reps[j] // keep the old representative alive

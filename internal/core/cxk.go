@@ -31,6 +31,12 @@ type Options struct {
 	Seed int64
 	// Rule selects the GenerateTreeTuple return reading.
 	Rule cluster.ReturnRule
+	// Workers bounds the goroutines each peer uses for its local
+	// similarity-heavy loops (relocation, ranking, refinement objectives).
+	// 0/negative = one per CPU, 1 = serial. Peers always run concurrently
+	// with each other; Workers adds intra-peer parallelism on top, and the
+	// result stays byte-identical to Workers: 1 for a fixed Seed.
+	Workers int
 	// Transport overrides the default in-process channel transport.
 	Transport p2p.Transport
 	// SerializeCompute runs peers' compute sections under a mutual
@@ -247,6 +253,7 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
 			maxRounds:    maxRounds,
 			seed:         opts.Seed + int64(i),
 			rule:         opts.Rule,
+			workers:      opts.Workers,
 			computeToken: computeToken,
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xmlclust/internal/cluster"
+	"xmlclust/internal/dataset"
 	"xmlclust/internal/eval"
 	"xmlclust/internal/p2p"
 	"xmlclust/internal/sim"
@@ -447,6 +448,79 @@ func TestRunUnderMessageDelays(t *testing.T) {
 		if res.Assign[i] != baseline.Assign[i] {
 			t.Fatalf("delays changed assignment %d: %d vs %d",
 				i, res.Assign[i], baseline.Assign[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Workers
+
+func runCXKWorkers(t testing.TB, cx *sim.Context, corpus *txn.Corpus, k, m int, seed int64, workers int) *Result {
+	t.Helper()
+	res, err := Run(cx, corpus, Options{
+		K: k, Params: cx.Params, Peers: m, Workers: workers,
+		Partition: EqualPartition(len(corpus.Transactions), m, seed),
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func assertResultsEqual(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Rounds != got.Rounds {
+		t.Errorf("%s: rounds %d vs %d", label, want.Rounds, got.Rounds)
+	}
+	for i := range want.Assign {
+		if want.Assign[i] != got.Assign[i] {
+			t.Fatalf("%s: assignment %d differs: %d vs %d", label, i, want.Assign[i], got.Assign[i])
+		}
+	}
+	if len(want.Reps) != len(got.Reps) {
+		t.Fatalf("%s: rep count %d vs %d", label, len(want.Reps), len(got.Reps))
+	}
+	for j := range want.Reps {
+		switch {
+		case want.Reps[j] == nil && got.Reps[j] == nil:
+		case want.Reps[j] == nil || got.Reps[j] == nil:
+			t.Errorf("%s: rep %d nil-ness differs", label, j)
+		case !want.Reps[j].Equal(got.Reps[j]):
+			t.Errorf("%s: rep %d differs", label, j)
+		}
+	}
+}
+
+// TestRunWorkersEquivalence asserts that the collaborative engine produces
+// byte-identical results for any intra-peer worker count, across network
+// sizes and several synthetic corpora.
+func TestRunWorkersEquivalence(t *testing.T) {
+	type corpusCase struct {
+		name   string
+		corpus *txn.Corpus
+		k      int
+	}
+	mini, _ := miniCorpus(t, 8)
+	cases := []corpusCase{{"two-topic", mini, 2}}
+	for _, ds := range []struct {
+		name string
+		docs int
+	}{{"DBLP", 20}, {"IEEE", 6}} {
+		gen, ok := dataset.ByName(ds.name)
+		if !ok {
+			t.Fatalf("unknown dataset %q", ds.name)
+		}
+		col := gen(dataset.Spec{Docs: ds.docs, Seed: 99})
+		cases = append(cases, corpusCase{ds.name, col.BuildCorpus(dataset.ByHybrid, 24), col.K(dataset.ByHybrid)})
+	}
+	for _, c := range cases {
+		cx := sim.NewContext(c.corpus, sim.Params{F: 0.5, Gamma: 0.7})
+		for _, m := range []int{1, 3} {
+			serial := runCXKWorkers(t, cx, c.corpus, c.k, m, 9, 1)
+			for _, w := range []int{4, 0} {
+				got := runCXKWorkers(t, cx, c.corpus, c.k, m, 9, w)
+				assertResultsEqual(t, fmt.Sprintf("%s m=%d workers=%d", c.name, m, w), serial, got)
+			}
 		}
 	}
 }

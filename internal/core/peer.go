@@ -22,6 +22,7 @@ type peerState struct {
 	maxRounds int
 	seed      int64
 	rule      cluster.ReturnRule
+	workers   int
 	// computeToken, when non-nil, serializes compute sections across peers
 	// so per-peer timings stay clean on oversubscribed hosts.
 	computeToken chan struct{}
@@ -81,7 +82,7 @@ func (p *peerState) run() error {
 	}
 
 	m := p.transport.Peers()
-	repCfg := cluster.RepConfig{Ctx: p.cx, Rule: p.rule}
+	repCfg := cluster.RepConfig{Ctx: p.cx, Rule: p.rule, Workers: p.workers}
 
 	for round := 0; round < p.maxRounds; round++ {
 		p.rounds = round + 1
@@ -113,7 +114,7 @@ func (p *peerState) run() error {
 		// Phase 2 — local relocation loop against the fixed globals.
 		p.compute(round, func() {
 			for {
-				assign := cluster.Relocate(p.cx, p.local, p.global)
+				assign := cluster.RelocateWorkers(p.cx, p.local, p.global, p.workers)
 				if intsEqual(assign, p.assign) {
 					break
 				}

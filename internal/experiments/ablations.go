@@ -22,7 +22,7 @@ func GammaSweep(ds string, kind dataset.ClassKind, f float64, gammas []float64, 
 	var out []GammaPoint
 	for _, g := range gammas {
 		r, err := Execute(RunSpec{
-			Dataset: ds, Kind: kind, F: f, Gamma: g, Peers: 1,
+			Dataset: ds, Kind: kind, F: f, Gamma: g, Peers: 1, Workers: scale.Workers,
 			Docs: scale.Docs[ds], MaxTuples: scale.MaxTuples, Seed: seed,
 		})
 		if err != nil {
@@ -62,8 +62,9 @@ func ReturnRuleAblation(ds string, kind dataset.ClassKind, scale Scale, seed int
 	for i := range rules {
 		r, err := Execute(RunSpec{
 			Dataset: ds, Kind: kind, F: f, Gamma: BestGamma(ds, kind), Peers: 1,
-			Docs: scale.Docs[ds], MaxTuples: scale.MaxTuples, Seed: seed,
-			Rule: rules[i].Rule,
+			Workers: scale.Workers,
+			Docs:    scale.Docs[ds], MaxTuples: scale.MaxTuples, Seed: seed,
+			Rule:    rules[i].Rule,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rule ablation %s: %w", rules[i].Label, err)
@@ -98,7 +99,8 @@ func PathCacheAblation(ds string, scale Scale, seed int64) ([]CachePoint, error)
 		spec := RunSpec{
 			Dataset: ds, Kind: dataset.ByHybrid, F: 0.5,
 			Gamma: BestGamma(ds, dataset.ByHybrid), Peers: 1,
-			Docs: scale.Docs[ds], MaxTuples: scale.MaxTuples, Seed: seed,
+			Workers: scale.Workers,
+			Docs:    scale.Docs[ds], MaxTuples: scale.MaxTuples, Seed: seed,
 			DisablePathCache: !cached,
 		}
 		r, err := Execute(spec)
@@ -108,6 +110,64 @@ func PathCacheAblation(ds string, scale Scale, seed int64) ([]CachePoint, error)
 		out = append(out, CachePoint{Cached: cached, Compute: r.Compute, PathSims: r.ItemSims - r.CacheHits})
 	}
 	return out, nil
+}
+
+// WorkersPoint is one sample of the intra-peer parallelism sweep.
+type WorkersPoint struct {
+	Workers  int
+	WallTime time.Duration
+	Compute  time.Duration
+	// F checks output invariance: the F-measure must not move with the
+	// worker count (the engine guarantees byte-identical assignments).
+	F       float64
+	Speedup float64 // serial wall time / this wall time
+}
+
+// WorkersAblation sweeps the intra-peer worker count on a centralized run
+// (m = 1 isolates the Relocate/representative loops from communication).
+// Runs are repeated and the minimum wall time kept, so the sweep is robust
+// against scheduler noise; the F column must stay constant across rows —
+// the parallel engine is exact, not approximate.
+func WorkersAblation(ds string, workerCounts []int, scale Scale, seed int64) ([]WorkersPoint, error) {
+	const repeats = 3
+	var out []WorkersPoint
+	for _, w := range workerCounts {
+		spec := RunSpec{
+			Dataset: ds, Kind: dataset.ByHybrid, F: 0.5,
+			Gamma: BestGamma(ds, dataset.ByHybrid), Peers: 1, Workers: w,
+			Docs: scale.Docs[ds], MaxTuples: scale.MaxTuples, Seed: seed,
+		}
+		pt := WorkersPoint{Workers: w}
+		for rep := 0; rep < repeats; rep++ {
+			r, err := Execute(spec)
+			if err != nil {
+				return nil, fmt.Errorf("workers ablation w=%d: %w", w, err)
+			}
+			if rep == 0 || r.WallTime < pt.WallTime {
+				pt.WallTime = r.WallTime
+				pt.Compute = r.Compute
+			}
+			pt.F = r.F
+		}
+		out = append(out, pt)
+	}
+	if len(out) > 0 && out[0].WallTime > 0 {
+		for i := range out {
+			out[i].Speedup = float64(out[0].WallTime) / float64(out[i].WallTime)
+		}
+	}
+	return out, nil
+}
+
+// WriteWorkersAblation renders the sweep.
+func WriteWorkersAblation(w io.Writer, ds string, pts []WorkersPoint) {
+	fmt.Fprintf(w, "Ablation — intra-peer workers (%s, hybrid, centralized)\n", ds)
+	fmt.Fprintf(w, "%8s %14s %14s %9s %8s\n", "workers", "wall", "compute", "speedup", "F")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d %14s %14s %8.2fx %8.3f\n",
+			p.Workers, p.WallTime.Round(time.Microsecond),
+			p.Compute.Round(time.Microsecond), p.Speedup, p.F)
+	}
 }
 
 // WriteCacheAblation renders the comparison.

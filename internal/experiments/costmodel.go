@@ -35,7 +35,8 @@ func CostModel(ds string, scale Scale) (*CostModelResult, error) {
 	}
 	spec := RunSpec{
 		Dataset: ds, Kind: kind, Gamma: BestGamma(ds, kind),
-		Docs: scale.Docs[ds], MaxTuples: scale.MaxTuples,
+		Workers: scale.Workers,
+		Docs:    scale.Docs[ds], MaxTuples: scale.MaxTuples,
 	}
 	pc, err := prepare(spec)
 	if err != nil {

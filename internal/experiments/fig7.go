@@ -69,7 +69,8 @@ func Fig7(ds string, scale Scale) (*Fig7Result, error) {
 			spec := RunSpec{
 				Dataset: ds, Kind: kind,
 				Gamma: BestGamma(ds, kind),
-				Peers: m, Docs: docs, MaxTuples: scale.MaxTuples,
+				Peers: m, Workers: scale.Workers,
+				Docs: docs, MaxTuples: scale.MaxTuples,
 			}
 			r, err := AverageF(spec, HybridDriven.Fs, scale.Seeds)
 			if err != nil {

@@ -39,7 +39,8 @@ func Fig8(ds string, scale Scale) (*Fig8Result, error) {
 		spec := RunSpec{
 			Dataset: ds, Kind: kind,
 			Gamma: BestGamma(ds, kind),
-			Peers: m, Docs: scale.Docs[ds], MaxTuples: scale.MaxTuples,
+			Peers: m, Workers: scale.Workers,
+			Docs: scale.Docs[ds], MaxTuples: scale.MaxTuples,
 		}
 		cxk, err := AverageF(spec, HybridDriven.Fs, scale.Seeds)
 		if err != nil {

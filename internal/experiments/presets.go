@@ -84,6 +84,11 @@ type Scale struct {
 	// accuracy is more initialization-sensitive than runtime, so the quick
 	// profile averages more seeds here (the paper averages 10 runs).
 	TableSeeds []int64
+	// Workers is each peer's intra-peer worker count, threaded into every
+	// RunSpec the drivers build. The profiles default to 1 (serial) so that
+	// per-peer compute timings match the paper's one-core-per-peer testbed;
+	// cxkbench -workers overrides it for wall-clock speed.
+	Workers int
 }
 
 // tableSeeds resolves the seed list for accuracy tables.
@@ -98,7 +103,8 @@ func (s Scale) tableSeeds() []int64 {
 // default `go test -bench` invocation.
 func QuickScale() Scale {
 	return Scale{
-		Name: "quick",
+		Name:    "quick",
+		Workers: 1,
 		Docs: map[string]int{
 			"DBLP": 160, "IEEE": 36, "Shakespeare": 8, "Wikipedia": 84,
 		},
@@ -114,7 +120,8 @@ func QuickScale() Scale {
 // smaller than the real IEEE collection); expect a multi-hour suite.
 func PaperScale() Scale {
 	return Scale{
-		Name: "paper",
+		Name:    "paper",
+		Workers: 1,
 		Docs: map[string]int{
 			"DBLP": 240, "IEEE": 90, "Shakespeare": 14, "Wikipedia": 210,
 		},

@@ -44,6 +44,11 @@ type RunSpec struct {
 	Gamma   float64
 	K       int // 0 → reference class count
 	Peers   int
+	// Workers bounds each peer's intra-peer parallelism (0/negative = one
+	// worker per CPU, 1 = serial; the experiment drivers pass the profile's
+	// Workers setting, which defaults to serial for timing fidelity).
+	// Results are byte-identical for any value; only timings change.
+	Workers int
 	Unequal bool // paper's second partitioning scenario
 	Seed    int64
 	// Docs overrides the corpus size (0 = generator default); the paper's
@@ -157,12 +162,14 @@ func Execute(spec RunSpec) (RunResult, error) {
 	case PK:
 		res, err = pkmeans.Run(cx, pc.corpus, pkmeans.Options{
 			K: k, Params: cx.Params, Peers: spec.Peers, Partition: part,
-			Seed: spec.Seed, Rule: spec.Rule, SerializeCompute: true,
+			Seed: spec.Seed, Rule: spec.Rule, Workers: spec.Workers,
+			SerializeCompute: true,
 		})
 	default:
 		res, err = core.Run(cx, pc.corpus, core.Options{
 			K: k, Params: cx.Params, Peers: spec.Peers, Partition: part,
-			Seed: spec.Seed, Rule: spec.Rule, SerializeCompute: true,
+			Seed: spec.Seed, Rule: spec.Rule, Workers: spec.Workers,
+			SerializeCompute: true,
 		})
 	}
 	if err != nil {

@@ -35,7 +35,7 @@ func AccuracyTable(setting Setting, unequal bool, scale Scale) (*TableResult, er
 			spec := RunSpec{
 				Dataset: ds, Kind: setting.Kind,
 				Gamma: BestGamma(ds, setting.Kind),
-				Peers: m, Unequal: unequal,
+				Peers: m, Workers: scale.Workers, Unequal: unequal,
 				Docs: scale.Docs[ds], MaxTuples: scale.MaxTuples,
 			}
 			r, err := AverageF(spec, setting.Fs, scale.tableSeeds())

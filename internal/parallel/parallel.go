@@ -1,0 +1,92 @@
+// Package parallel provides the deterministic fork-join primitives the
+// clustering hot paths are built on.
+//
+// The paper's CXK-means is a parallel algorithm by construction — every
+// peer clusters its local transaction set independently — and Sect. 4.3
+// observes that similarity computation, not iteration count, dominates the
+// cost. The primitives here parallelize exactly those similarity-bound
+// loops while preserving bit-for-bit reproducibility: work items are
+// identified by index, every worker writes only into the slot of the index
+// it drew, and floating-point reductions are re-associated in index order
+// by the caller (see Sum). Consequently a run with N workers produces
+// output byte-identical to the serial run, for any N.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve normalizes a worker-count knob: any value below 1 means "one
+// worker per available CPU" (runtime.GOMAXPROCS(0)).
+func Resolve(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0,n), spread over the given number of
+// workers. workers < 1 resolves to the CPU count; workers == 1 (or n ≤ 1)
+// runs inline with no goroutines, so the serial path stays allocation- and
+// scheduler-free.
+//
+// Scheduling is dynamic (workers draw the next index from a shared atomic
+// counter), which balances loads whose per-index cost varies — e.g. cluster
+// members of very different transaction lengths. fn must be safe to call
+// concurrently and must confine its writes to state owned by index i;
+// under that contract the result is independent of the schedule.
+func For(workers, n int, fn func(i int)) {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Sum evaluates fn(i) for every i in [0,n) across workers and returns
+// Σ fn(i) accumulated in ascending index order. Computing the terms in
+// parallel but reducing them serially keeps the floating-point result
+// identical to the serial loop — addition is not associative, so a
+// schedule-dependent reduction order would leak into cluster objectives
+// and break run-to-run reproducibility.
+func Sum(workers, n int, fn func(i int) float64) float64 {
+	if Resolve(workers) <= 1 || n <= 1 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += fn(i)
+		}
+		return s
+	}
+	terms := make([]float64, n)
+	For(workers, n, func(i int) {
+		terms[i] = fn(i)
+	})
+	s := 0.0
+	for _, t := range terms {
+		s += t
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Resolve(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, w := range []int{1, 2, 7, 64} {
+		if got := Resolve(w); got != w {
+			t.Fatalf("Resolve(%d) = %d", w, got)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 5, 97, 1000} {
+			hits := make([]atomic.Int32, n)
+			For(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForSlotWritesMatchSerial(t *testing.T) {
+	const n = 513
+	want := make([]int, n)
+	For(1, n, func(i int) { want[i] = i * i })
+	got := make([]int, n)
+	For(8, n, func(i int) { got[i] = i * i })
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("slot %d: serial %d parallel %d", i, want[i], got[i])
+		}
+	}
+}
+
+func TestSumMatchesSerialOrder(t *testing.T) {
+	// Terms of wildly different magnitudes expose any reduction reorder.
+	const n = 2048
+	term := func(i int) float64 {
+		v := float64(i%17) * 1e-9
+		if i%5 == 0 {
+			v += float64(i) * 1e6
+		}
+		return v
+	}
+	serial := 0.0
+	for i := 0; i < n; i++ {
+		serial += term(i)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		if got := Sum(workers, n, term); got != serial {
+			t.Fatalf("workers=%d: Sum = %v, serial = %v (must be bit-identical)", workers, got, serial)
+		}
+	}
+}
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(4, 0, func(int) float64 { return 1 }); got != 0 {
+		t.Fatalf("Sum over empty range = %v", got)
+	}
+}

@@ -54,6 +54,8 @@ type Options struct {
 	MaxRounds        int
 	Seed             int64
 	Rule             cluster.ReturnRule
+	// Workers bounds each peer's intra-peer parallelism (see core.Options).
+	Workers          int
 	Transport        p2p.Transport
 	SerializeCompute bool
 	// SSEEpsilon is the stop threshold on the global SSE change.
@@ -107,7 +109,7 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*core.Result, error
 			id: i, cx: cx, local: local, globalIdx: opts.Partition[i],
 			transport: transport, sizer: sizer(corpus.Items),
 			k: opts.K, maxRounds: maxRounds, seed: opts.Seed + int64(i),
-			rule: opts.Rule, eps: eps, computeToken: computeToken,
+			rule: opts.Rule, workers: opts.Workers, eps: eps, computeToken: computeToken,
 			zi: core.ResponsibilityPartition(opts.K, m)[i],
 		}
 	}
@@ -179,6 +181,7 @@ type peer struct {
 	maxRounds    int
 	seed         int64
 	rule         cluster.ReturnRule
+	workers      int
 	eps          float64
 	computeToken chan struct{}
 
@@ -197,7 +200,7 @@ func (p *peer) run() error {
 	for i := range p.assign {
 		p.assign[i] = cluster.TrashCluster
 	}
-	repCfg := cluster.RepConfig{Ctx: p.cx, Rule: p.rule}
+	repCfg := cluster.RepConfig{Ctx: p.cx, Rule: p.rule, Workers: p.workers}
 
 	// Round 0: agree on the k initial centers. Peer i seeds the clusters in
 	// its responsibility range from its local data and broadcasts them.
@@ -243,7 +246,7 @@ func (p *peer) run() error {
 		var localReps map[int]core.WeightedWireRep
 		var localSSE float64
 		p.compute(round, func() {
-			p.assign = cluster.Relocate(p.cx, p.local, p.global)
+			p.assign = cluster.RelocateWorkers(p.cx, p.local, p.global, p.workers)
 			members := make([][]*txn.Transaction, p.k)
 			for i, a := range p.assign {
 				if a >= 0 {

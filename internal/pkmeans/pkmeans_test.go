@@ -203,3 +203,43 @@ func BenchmarkPKRunM3(b *testing.B) {
 		runPK(b, corpus, 2, 3, int64(i))
 	}
 }
+
+// TestPKWorkersEquivalence asserts the PK-means baseline inherits the
+// engine's determinism guarantee: identical output for any intra-peer
+// worker count.
+func TestPKWorkersEquivalence(t *testing.T) {
+	corpus, _ := miniCorpus(t, 8)
+	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
+	run := func(workers int) *core.Result {
+		res, err := Run(cx, corpus, Options{
+			K: 2, Params: cx.Params, Peers: 3, Workers: workers,
+			Partition: core.EqualPartition(len(corpus.Transactions), 3, 7),
+			Seed:      7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{4, 0} {
+		got := run(w)
+		if serial.Rounds != got.Rounds {
+			t.Errorf("workers=%d: rounds %d vs %d", w, serial.Rounds, got.Rounds)
+		}
+		for i := range serial.Assign {
+			if serial.Assign[i] != got.Assign[i] {
+				t.Fatalf("workers=%d: assignment %d differs", w, i)
+			}
+		}
+		for j := range serial.Reps {
+			switch {
+			case serial.Reps[j] == nil && got.Reps[j] == nil:
+			case serial.Reps[j] == nil || got.Reps[j] == nil:
+				t.Errorf("workers=%d: rep %d nil-ness differs", w, j)
+			case !serial.Reps[j].Equal(got.Reps[j]):
+				t.Errorf("workers=%d: rep %d differs", w, j)
+			}
+		}
+	}
+}

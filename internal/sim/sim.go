@@ -44,7 +44,9 @@ type Counters struct {
 }
 
 // Context evaluates similarities for one corpus under fixed Params.
-// It is safe for concurrent use by multiple peers.
+// It is safe for concurrent use: peers and intra-peer workers share one
+// Context, so the tag-path pair cache is sharded to keep concurrent
+// TagPathSim calls from contending on a single lock.
 type Context struct {
 	Params   Params
 	Items    *txn.ItemTable
@@ -60,22 +62,57 @@ type Context struct {
 	// sketched in Sect. 4.1.1/Sect. 6 of the paper.
 	TagSim semantics.TagSimilarity
 
-	mu    sync.RWMutex
-	cache map[pathPair]float64
+	shards [cacheShards]cacheShard
 }
 
 type pathPair struct{ a, b xmltree.PathID }
 
+// cacheShards is the shard count of the tag-path pair cache. Power of two
+// so the shard index is a mask; sized well above typical worker×peer
+// products so that concurrent lookups rarely collide on a shard lock.
+const cacheShards = 64
+
+// cacheShard is one lock-striped slice of the pair cache. Entries are pure
+// functions of the key, so racing writers always store the same value and
+// the cache contents are schedule-independent.
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[pathPair]float64
+}
+
+// shardOf hashes a pair onto its shard (multiplicative mixing of the two
+// interned ids; the pair is already ordered by the caller).
+func shardOf(key pathPair) uint32 {
+	h := uint32(key.a)*0x9e3779b1 ^ uint32(key.b)*0x85ebca77
+	h ^= h >> 16
+	return h & (cacheShards - 1)
+}
+
 // NewContext builds a similarity context over a corpus.
 func NewContext(c *txn.Corpus, p Params) *Context {
-	return &Context{
+	cx := &Context{
 		Params:   p,
 		Items:    c.Items,
 		Paths:    c.Paths,
 		UseCache: true,
 		TagSim:   semantics.Exact{},
-		cache:    make(map[pathPair]float64),
 	}
+	for i := range cx.shards {
+		cx.shards[i].m = make(map[pathPair]float64)
+	}
+	return cx
+}
+
+// CacheLen returns the number of cached tag-path pair similarities.
+func (cx *Context) CacheLen() int {
+	n := 0
+	for i := range cx.shards {
+		sh := &cx.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Structural returns simS between two items (Eq. 3), comparing their tag
@@ -94,10 +131,12 @@ func (cx *Context) TagPathSim(pa, pb xmltree.PathID) float64 {
 	if pb < pa {
 		key = pathPair{pb, pa}
 	}
+	var sh *cacheShard
 	if cx.UseCache {
-		cx.mu.RLock()
-		s, ok := cx.cache[key]
-		cx.mu.RUnlock()
+		sh = &cx.shards[shardOf(key)]
+		sh.mu.RLock()
+		s, ok := sh.m[key]
+		sh.mu.RUnlock()
 		if ok {
 			cx.Counters.CacheHits.Add(1)
 			return s
@@ -106,10 +145,10 @@ func (cx *Context) TagPathSim(pa, pb xmltree.PathID) float64 {
 	}
 	s := PathSimWith(cx.Paths.Path(pa), cx.Paths.Path(pb), cx.TagSim)
 	cx.Counters.PathSims.Add(1)
-	if cx.UseCache {
-		cx.mu.Lock()
-		cx.cache[key] = s
-		cx.mu.Unlock()
+	if sh != nil {
+		sh.mu.Lock()
+		sh.m[key] = s
+		sh.mu.Unlock()
 	}
 	return s
 }

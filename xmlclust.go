@@ -142,6 +142,12 @@ type ClusterOptions struct {
 	Gamma float64
 	// Peers is the number of P2P nodes; 1 = centralized (default 1).
 	Peers int
+	// Workers bounds the goroutines each peer uses for its local
+	// similarity-heavy loops (relocation, item ranking, representative
+	// refinement). 0 or negative means one worker per CPU; 1 forces the
+	// serial path. For a fixed Seed the clustering output is byte-identical
+	// for every Workers value — only the wall time changes.
+	Workers int
 	// UnequalSplit distributes data in the paper's skewed scenario (half
 	// the peers hold twice the data).
 	UnequalSplit bool
@@ -211,11 +217,13 @@ func Cluster(corpus *Corpus, opts ClusterOptions) (*Result, error) {
 		res, err = pkmeans.Run(cx, corpus, pkmeans.Options{
 			K: opts.K, Params: cx.Params, Peers: peers, Partition: part,
 			Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: transport,
+			Workers: opts.Workers,
 		})
 	default:
 		res, err = core.Run(cx, corpus, core.Options{
 			K: opts.K, Params: cx.Params, Peers: peers, Partition: part,
 			Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: transport,
+			Workers: opts.Workers,
 		})
 	}
 	if err != nil {

@@ -196,3 +196,39 @@ func TestSaveLoadCorpus(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterWorkersEquivalence asserts the public-API determinism
+// guarantee: ClusterOptions.Workers changes only wall time, never output.
+func TestClusterWorkersEquivalence(t *testing.T) {
+	corpus := sampleCorpus(t)
+	run := func(workers int) *Result {
+		res, err := Cluster(corpus, ClusterOptions{
+			K: 2, F: 0.5, Gamma: 0.6, Peers: 2, Workers: workers, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, w := range []int{4, 0} {
+		got := run(w)
+		if serial.Rounds != got.Rounds {
+			t.Errorf("workers=%d: rounds %d vs %d", w, serial.Rounds, got.Rounds)
+		}
+		for i := range serial.Assign {
+			if serial.Assign[i] != got.Assign[i] {
+				t.Fatalf("workers=%d: assignment %d differs", w, i)
+			}
+		}
+		for j := range serial.Reps {
+			switch {
+			case serial.Reps[j] == nil && got.Reps[j] == nil:
+			case serial.Reps[j] == nil || got.Reps[j] == nil:
+				t.Errorf("workers=%d: rep %d nil-ness differs", w, j)
+			case !serial.Reps[j].Equal(got.Reps[j]):
+				t.Errorf("workers=%d: rep %d differs", w, j)
+			}
+		}
+	}
+}
