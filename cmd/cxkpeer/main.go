@@ -1,0 +1,94 @@
+// Command cxkpeer runs ONE CXK-means peer as its own OS process, so a
+// cluster of m machines (or m processes on one machine) executes the
+// collaborative protocol over real TCP.
+//
+// Usage:
+//
+//	cxkpeer -id 0 -peers host0:9000,host1:9000,host2:9000 -corpus corpus.gob -k 8
+//
+// Every process must be started with the same -peers table, -corpus file
+// and clustering flags (-k -f -gamma -seed -maxrounds -unequal): the data
+// partition and per-peer seeds are derived deterministically from them, so
+// the process cluster reproduces the in-process engine byte-identically.
+//
+// Peer 0 is the coordinator: it plays node N0 (startup broadcast), collects
+// every peer's final assignment and prints the corpus-wide result to stdout
+// as "transaction<TAB>cluster" lines (cluster −1 is the trash cluster).
+// The corpus file is the gob produced by `cxkcluster -save` (preprocess
+// once, ship the file to every peer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xmlclust"
+)
+
+func main() {
+	var (
+		id      = flag.Int("id", 0, "this peer's id in [0, #peers)")
+		peers   = flag.String("peers", "", "comma-separated peer address table, index = peer id (required)")
+		listen  = flag.String("listen", "", "local listen address (default: the -peers entry for -id)")
+		corpusF = flag.String("corpus", "", "preprocessed corpus file from `cxkcluster -save` (required)")
+		k       = flag.Int("k", 4, "number of clusters")
+		f       = flag.Float64("f", 0.5, "structure/content balance f ∈ [0,1]")
+		gamma   = flag.Float64("gamma", 0.7, "γ-matching threshold")
+		seed    = flag.Int64("seed", 1, "random seed (must match across peers)")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = one per CPU, 1 = serial); output is identical for any value")
+		rounds  = flag.Int("maxrounds", 0, "bound on collaborative rounds (0 = default)")
+		unequal = flag.Bool("unequal", false, "skewed data distribution (half the peers hold twice the data)")
+		roundTO = flag.Duration("round-timeout", 0, "per-round receive deadline (0 = default, negative = none)")
+		startTO = flag.Duration("startup-timeout", 0, "how long to wait for the coordinator's startup message (0 = default, negative = none)")
+		dialTO  = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peer listeners to come up")
+		quiet   = flag.Bool("q", false, "suppress the per-peer summary on stderr")
+	)
+	flag.Parse()
+	if *peers == "" || *corpusF == "" {
+		fmt.Fprintln(os.Stderr, "usage: cxkpeer -id N -peers addr,addr,... -corpus file [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	addrs := strings.Split(*peers, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+
+	cf, err := os.Open(*corpusF)
+	if err != nil {
+		fatal(err)
+	}
+	corpus, err := xmlclust.LoadCorpus(cf)
+	cf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := xmlclust.ClusterDistributed(corpus, xmlclust.DistributedOptions{
+		K: *k, F: *f, Gamma: *gamma,
+		ID: *id, PeerAddrs: addrs, Listen: *listen,
+		Workers: *workers, UnequalSplit: *unequal,
+		Seed: *seed, MaxRounds: *rounds,
+		RoundTimeout: *roundTO, StartupTimeout: *startTO, DialTimeout: *dialTO,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "cxkpeer %d/%d: %d local transactions, %d rounds, wall %v\n",
+			*id, len(addrs), len(res.LocalAssign), res.Rounds, res.WallTime.Round(time.Millisecond))
+	}
+	if res.Assign != nil { // coordinator: print the corpus-wide assignment
+		for i, a := range res.Assign {
+			fmt.Printf("%d\t%d\n", i, a)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cxkpeer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlclust"
+)
+
+// e2eCorpus builds a small two-topic corpus and returns it plus the path of
+// its serialized form (the file every peer process loads).
+func e2eCorpus(t *testing.T, dir string) (*xmlclust.Corpus, string) {
+	t.Helper()
+	var trees []*xmlclust.Tree
+	for i := 0; i < 6; i++ {
+		doc := fmt.Sprintf(`<db><paper key="p%d">
+			<writer>alice cooper</writer>
+			<name>mining frequent patterns number%d</name>
+			<venue>KDD</venue>
+		</paper></db>`, i, i)
+		tree, err := xmlclust.ParseString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+	}
+	for i := 0; i < 6; i++ {
+		doc := fmt.Sprintf(`<db><report key="r%d">
+			<editor>bob dylan</editor>
+			<heading>routing wireless networks number%d</heading>
+			<lab>NETLAB</lab>
+		</report></db>`, i, i)
+		tree, err := xmlclust.ParseString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+	}
+	corpus := xmlclust.BuildCorpus(trees, xmlclust.CorpusOptions{})
+	path := filepath.Join(dir, "corpus.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := xmlclust.SaveCorpus(f, corpus); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return corpus, path
+}
+
+// reservePorts picks n distinct loopback addresses that are free right now.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestE2EThreeProcessEquivalence is the acceptance check of the distributed
+// runtime: a 3-peer cluster running as 3 separate OS processes over real
+// loopback TCP must produce assignments identical to the in-process
+// ChanTransport engine for the same seed, k, f, γ.
+func TestE2EThreeProcessEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "cxkpeer")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cxkpeer: %v\n%s", err, out)
+	}
+
+	corpus, corpusPath := e2eCorpus(t, dir)
+	const k, seed = 2, 4
+	want, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+		K: k, F: 0.5, Gamma: 0.7, Peers: 3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := reservePorts(t, 3)
+	peers := strings.Join(addrs, ",")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var coordOut bytes.Buffer
+	procs := make([]*exec.Cmd, 3)
+	// Start the followers first, the coordinator last: the dial-retry in
+	// the Node transport must absorb any start order anyway.
+	for _, id := range []int{1, 2, 0} {
+		cmd := exec.CommandContext(ctx, bin,
+			"-id", fmt.Sprint(id),
+			"-peers", peers,
+			"-corpus", corpusPath,
+			"-k", fmt.Sprint(k),
+			"-f", "0.5",
+			"-gamma", "0.7",
+			"-seed", fmt.Sprint(seed),
+			"-dial-timeout", "30s",
+		)
+		cmd.Stderr = os.Stderr
+		if id == 0 {
+			cmd.Stdout = &coordOut
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting peer %d: %v", id, err)
+		}
+		procs[id] = cmd
+	}
+	for id, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("peer %d exited with error: %v", id, err)
+		}
+	}
+
+	got := make(map[int]int)
+	sc := bufio.NewScanner(bytes.NewReader(coordOut.Bytes()))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var idx, cl int
+		if _, err := fmt.Sscanf(line, "%d\t%d", &idx, &cl); err != nil {
+			t.Fatalf("unparsable coordinator output %q: %v", line, err)
+		}
+		got[idx] = cl
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Assign) {
+		t.Fatalf("coordinator reported %d assignments, want %d", len(got), len(want.Assign))
+	}
+	for i, a := range want.Assign {
+		if got[i] != a {
+			t.Fatalf("assignment %d differs: 3-process run %d vs in-process %d", i, got[i], a)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -45,6 +46,16 @@ type Options struct {
 	// peers. Communication still overlaps. Benchmarks enable this; live
 	// deployments leave it off.
 	SerializeCompute bool
+	// RoundTimeout bounds every blocking receive of each peer's session;
+	// a peer that waits longer fails with ErrRoundDeadline instead of
+	// hanging on a dead neighbour. 0 disables the deadline (the default
+	// for trusted in-process runs).
+	RoundTimeout time.Duration
+	// StartupTimeout bounds the wait for the StartMsg (see
+	// PeerConfig.StartupTimeout); distributed peers boot in any order, so
+	// it is typically much longer than RoundTimeout. 0 falls back to
+	// RoundTimeout; negative disables it.
+	StartupTimeout time.Duration
 }
 
 // DefaultMaxRounds bounds the collaborative loop.
@@ -197,9 +208,11 @@ func ResponsibilityPartition(k, m int) [][]int {
 	return zs
 }
 
-// Run executes CXK-means. The corpus supplies the transaction set S and
-// interning tables; cx must be a similarity context over the same corpus
-// with Params equal to opts.Params.
+// Run executes CXK-means as a thin driver over the session engine: it plays
+// node N0 (startup), builds one Peer per partition part and runs all m
+// sessions concurrently over the shared transport. The corpus supplies the
+// transaction set S and interning tables; cx must be a similarity context
+// over the same corpus with Params equal to opts.Params.
 func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
 	m := opts.Peers
 	if m <= 0 {
@@ -211,10 +224,6 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
 	if len(opts.Partition) != m {
 		return nil, fmt.Errorf("core: partition has %d parts for %d peers", len(opts.Partition), m)
 	}
-	maxRounds := opts.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds
-	}
 	transport := opts.Transport
 	if transport == nil {
 		transport = p2p.NewChanTransport(m, Sizer(corpus.Items))
@@ -224,7 +233,7 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
 
 	// Node N0 startup (Fig. 5): define Z_1..Z_m and ship parameters. Peer 0
 	// plays N0 — the paper notes any peer can perform this trivial duty.
-	start := StartMsg{Zs: ResponsibilityPartition(opts.K, m), K: opts.K, F: cx.Params.F, Gamma: cx.Params.Gamma}
+	start := startMsgFrom(cx, corpus, opts)
 	for i := 0; i < m; i++ {
 		if err := transport.Send(0, i, start); err != nil {
 			return nil, err
@@ -237,62 +246,93 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
 		computeToken <- struct{}{}
 	}
 
-	peers := make([]*peerState, m)
+	peers := make([]*Peer, m)
 	for i := 0; i < m; i++ {
 		local := make([]*txn.Transaction, len(opts.Partition[i]))
 		for j, idx := range opts.Partition[i] {
 			local[j] = corpus.Transactions[idx]
 		}
-		peers[i] = &peerState{
-			id:           i,
-			cx:           cx,
-			local:        local,
-			globalIdx:    opts.Partition[i],
-			transport:    transport,
-			sizer:        sizer,
-			maxRounds:    maxRounds,
-			seed:         opts.Seed + int64(i),
-			rule:         opts.Rule,
-			workers:      opts.Workers,
-			computeToken: computeToken,
-		}
+		peers[i] = NewPeer(PeerConfig{
+			ID:             i,
+			Ctx:            cx,
+			Local:          local,
+			Transport:      transport,
+			Sizer:          sizer,
+			MaxRounds:      opts.MaxRounds,
+			Seed:           opts.Seed + int64(i),
+			Rule:           opts.Rule,
+			Workers:        opts.Workers,
+			RoundTimeout:   opts.RoundTimeout,
+			StartupTimeout: opts.StartupTimeout,
+			Expect:         expectationFrom(cx, corpus, opts),
+			ComputeToken:   computeToken,
+		})
 	}
 
+	ctx := context.Background()
 	t0 := time.Now()
 	var wg sync.WaitGroup
+	results := make([]*SessionResult, m)
 	errs := make([]error, m)
 	for i := 0; i < m; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = peers[i].run()
+			results[i], errs[i] = peers[i].RunSession(ctx)
 		}(i)
 	}
 	wg.Wait()
 	wall := time.Since(t0)
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("core: peer %d: %w", i, err)
+			return nil, err
 		}
 	}
 
 	res := &Result{
 		Assign:   make([]int, len(corpus.Transactions)),
-		Reps:     peers[0].globalRepsSnapshot(),
+		Reps:     results[0].Reps,
 		WallTime: wall,
 		Peers:    make([]PeerReport, m),
 	}
 	for i := range res.Assign {
 		res.Assign[i] = cluster.TrashCluster
 	}
-	for i, p := range peers {
-		res.Peers[i] = p.report
-		if p.rounds > res.Rounds {
-			res.Rounds = p.rounds
+	for i, sr := range results {
+		res.Peers[i] = sr.Report
+		if sr.Rounds > res.Rounds {
+			res.Rounds = sr.Rounds
 		}
-		for localIdx, a := range p.assign {
-			res.Assign[p.globalIdx[localIdx]] = a
+		for localIdx, a := range sr.Assign {
+			res.Assign[opts.Partition[i][localIdx]] = a
 		}
 	}
 	return res, nil
+}
+
+
+// startMsgFrom builds node N0's StartMsg for a run configuration.
+func startMsgFrom(cx *sim.Context, corpus *txn.Corpus, opts Options) StartMsg {
+	return StartMsg{
+		Zs:            ResponsibilityPartition(opts.K, opts.Peers),
+		K:             opts.K,
+		F:             cx.Params.F,
+		Gamma:         cx.Params.Gamma,
+		Seed:          opts.Seed,
+		Txns:          len(corpus.Transactions),
+		PartitionHash: PartitionFingerprint(opts.Partition),
+	}
+}
+
+// expectationFrom pins the run parameters a peer launched with this
+// configuration must see in the StartMsg.
+func expectationFrom(cx *sim.Context, corpus *txn.Corpus, opts Options) *StartExpectation {
+	return &StartExpectation{
+		K:             opts.K,
+		F:             cx.Params.F,
+		Gamma:         cx.Params.Gamma,
+		Seed:          opts.Seed,
+		Txns:          len(corpus.Transactions),
+		PartitionHash: PartitionFingerprint(opts.Partition),
+	}
 }

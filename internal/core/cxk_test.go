@@ -370,21 +370,40 @@ func TestPeerReportsConsistent(t *testing.T) {
 }
 
 func TestWireRoundtrip(t *testing.T) {
-	tr := txn.NewTransaction([]txn.ItemID{3, 1, 2}, 0, 0, -1)
-	w := toWire(tr)
-	back := fromWire(w)
+	corpus, _ := miniCorpus(t, 2)
+	tr := corpus.Transactions[0]
+	w := toWire(corpus.Items, tr)
+	back := fromWire(corpus.Items, w)
 	if !tr.Equal(back) {
 		t.Errorf("wire roundtrip changed transaction: %v vs %v", tr.Items, back.Items)
 	}
-	if fromWire(toWire(nil)) != nil {
+	if fromWire(corpus.Items, toWire(corpus.Items, nil)) != nil {
 		t.Error("nil roundtrip should stay nil")
+	}
+	// Representatives carry synthetic (conflated) items whose ids are
+	// process-local: the wire form must flatten them to raw corpus ids, and
+	// re-conflation on a shared table must reproduce the exact transaction.
+	var all []txn.ItemID
+	for _, tx := range corpus.Transactions[:2] {
+		all = append(all, tx.Items...)
+	}
+	syn := cluster.ConflateItems(corpus.Items, all)
+	ws := toWire(corpus.Items, syn)
+	for _, id := range ws.Items {
+		if corpus.Items.Get(id).Synthetic {
+			t.Fatalf("synthetic item %d leaked onto the wire", id)
+		}
+	}
+	backSyn := fromWire(corpus.Items, ws)
+	if !syn.Equal(backSyn) {
+		t.Errorf("synthetic roundtrip changed transaction: %v vs %v", syn.Items, backSyn.Items)
 	}
 }
 
 func TestSizerPositive(t *testing.T) {
 	corpus, _ := miniCorpus(t, 2)
 	s := Sizer(corpus.Items)
-	msg := GlobalRepsMsg{Reps: map[int]WireTxn{0: toWire(corpus.Transactions[0])}}
+	msg := GlobalRepsMsg{Reps: map[int]WireTxn{0: toWire(corpus.Items, corpus.Transactions[0])}}
 	if s(msg) <= 16 {
 		t.Errorf("global reps size = %d", s(msg))
 	}

@@ -7,28 +7,41 @@
 package core
 
 import (
+	"xmlclust/internal/cluster"
 	"xmlclust/internal/p2p"
 	"xmlclust/internal/txn"
 	"xmlclust/internal/vector"
 )
 
 // WireTxn is the transport representation of a (representative)
-// transaction. In-process deployments share the interning tables, so item
-// ids suffice on the wire; ModeledSize accounts for the full semantic
-// payload (paths, answers, TCU vectors) that a cross-machine deployment
-// would ship, matching the paper's cost model O(|tr|·(|u|+depth)).
+// transaction: the flattened raw item ids of its leaves. Raw item ids are
+// stable across every process that loaded the same corpus, while synthetic
+// (conflated) representative items are process-local — so senders flatten
+// to raw constituents (toWire) and receivers re-conflate in their own
+// interning table (fromWire). WireTxnSize accounts for the full semantic
+// payload (paths, answers, TCU vectors) a cross-machine deployment ships,
+// matching the paper's cost model O(|tr|·(|u|+depth)).
 type WireTxn struct {
 	Items []txn.ItemID
 }
 
 // StartMsg is the trivial startup message of node N0: the partition of the
 // cluster identifiers {1..k} into responsibility sets Z_1..Z_m, plus the
-// clustering parameters.
+// clustering parameters. Seed, Txns and PartitionHash let every peer check
+// that the whole cluster was launched with one consistent configuration —
+// a multi-process deployment with divergent flags would otherwise compute
+// silently wrong assignments.
 type StartMsg struct {
 	Zs    [][]int
 	K     int
 	F     float64
 	Gamma float64
+	// Seed is the base seed of the run (peer i derives Seed+i).
+	Seed int64
+	// Txns is the corpus size |S|.
+	Txns int
+	// PartitionHash fingerprints the data partition S_1..S_m.
+	PartitionHash uint64
 }
 
 // GlobalRepsMsg broadcasts the global representatives a peer is responsible
@@ -67,26 +80,52 @@ type WeightedWireRep struct {
 	Weight int
 }
 
+// AssignMsg reports a peer's final local assignment to the coordinator
+// after its session terminates. Fig. 5 leaves result collection out of
+// scope; multi-process deployments (RunPeer / cmd/cxkpeer) use it so the
+// coordinator can assemble the corpus-wide assignment.
+type AssignMsg struct {
+	From   int
+	Rounds int
+	// Assign is the sender's local assignment in local transaction order
+	// (the coordinator maps it back through the shared partition).
+	Assign []int
+}
+
 func init() {
 	p2p.RegisterWireType(StartMsg{})
 	p2p.RegisterWireType(GlobalRepsMsg{})
 	p2p.RegisterWireType(LocalRepsMsg{})
+	p2p.RegisterWireType(AssignMsg{})
 }
 
-// toWire converts a transaction (nil-safe).
-func toWire(tr *txn.Transaction) WireTxn {
+// toWire converts a transaction to its wire form: the flattened raw item
+// ids (nil-safe). Synthetic (conflated) representative items are
+// process-local — their ids do not exist in a remote peer's interning
+// table — but they are fully determined by their raw constituents, which
+// are corpus items and therefore share ids across every process that loaded
+// the same corpus.
+func toWire(items *txn.ItemTable, tr *txn.Transaction) WireTxn {
 	if tr == nil {
 		return WireTxn{}
 	}
-	return WireTxn{Items: append([]txn.ItemID(nil), tr.Items...)}
+	out := make([]txn.ItemID, 0, len(tr.Items))
+	for _, id := range tr.Items {
+		out = append(out, items.Get(id).Flatten()...)
+	}
+	return WireTxn{Items: out}
 }
 
-// fromWire rebuilds a transaction (nil for the empty wire form).
-func fromWire(w WireTxn) *txn.Transaction {
+// fromWire rebuilds a transaction by re-conflating the raw ids in the local
+// interning table (nil for the empty wire form). Conflation is
+// deterministic and dedupes through the table, so on a shared in-process
+// table it reproduces the sender's exact item ids, and across processes it
+// reproduces items with identical semantics (path, merged answer, vector).
+func fromWire(items *txn.ItemTable, w WireTxn) *txn.Transaction {
 	if len(w.Items) == 0 {
 		return nil
 	}
-	return txn.NewTransaction(w.Items, -1, -1, -1)
+	return cluster.ConflateItems(items, w.Items)
 }
 
 // WireTxnSize models the semantic wire size of a representative: each item
@@ -123,6 +162,8 @@ func Sizer(items *txn.ItemTable) p2p.Sizer {
 				n += 16 + WireTxnSize(items, r.Rep)
 			}
 			return n
+		case AssignMsg:
+			return int64(24 + 8*len(m.Assign))
 		default:
 			return 64
 		}

@@ -1,0 +1,694 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xmlclust/internal/cluster"
+	"xmlclust/internal/p2p"
+	"xmlclust/internal/sim"
+	"xmlclust/internal/txn"
+)
+
+// PeerConfig assembles everything one peer process N_i of Fig. 5 needs to
+// join a CXK-means session.
+type PeerConfig struct {
+	// ID is this peer's dense id in [0, Transport.Peers()).
+	ID int
+	// Ctx is the similarity context over the peer's interning tables.
+	Ctx *sim.Context
+	// Local is S_i, the peer's local transaction set.
+	Local []*txn.Transaction
+	// Transport connects the peer to the network. For multi-process
+	// deployments this is a p2p.Node; in-process runs use ChanTransport or
+	// TCPTransport.
+	Transport p2p.Transport
+	// Sizer models wire sizes for the per-round traffic report (nil
+	// records zero bytes).
+	Sizer p2p.Sizer
+	// MaxRounds bounds the collaborative loop (0 = DefaultMaxRounds).
+	MaxRounds int
+	// Seed drives the initial representative selection.
+	Seed int64
+	// Rule selects the GenerateTreeTuple return reading.
+	Rule cluster.ReturnRule
+	// Workers bounds intra-peer parallelism (see Options.Workers).
+	Workers int
+	// RoundTimeout bounds every blocking receive of the session; a peer
+	// that waits longer fails with ErrRoundDeadline instead of hanging on
+	// a dead neighbour. 0 disables the deadline (trusted in-process runs).
+	RoundTimeout time.Duration
+	// StartupTimeout bounds the wait for N0's StartMsg. Peer processes of
+	// a distributed deployment boot in any order, so this is typically
+	// much longer than RoundTimeout. 0 falls back to RoundTimeout;
+	// negative disables the startup deadline.
+	StartupTimeout time.Duration
+	// Expect, when non-nil, pins the run parameters this peer was
+	// launched with; a StartMsg that disagrees fails the session with
+	// ErrConfigMismatch instead of computing silently wrong assignments
+	// (every process of a distributed run must share one configuration).
+	Expect *StartExpectation
+	// ComputeToken, when non-nil, serializes compute sections across peers
+	// so per-peer timings stay clean on oversubscribed hosts.
+	ComputeToken chan struct{}
+}
+
+// StartExpectation pins the parameters a peer expects node N0 to announce.
+type StartExpectation struct {
+	K             int
+	F             float64
+	Gamma         float64
+	Seed          int64
+	Txns          int
+	PartitionHash uint64
+}
+
+// check compares the expectation against a received StartMsg.
+func (e *StartExpectation) check(msg StartMsg) error {
+	switch {
+	case msg.K != e.K:
+		return fmt.Errorf("%w: k = %d here, %d at N0", ErrConfigMismatch, e.K, msg.K)
+	case msg.F != e.F || msg.Gamma != e.Gamma:
+		return fmt.Errorf("%w: (f, γ) = (%v, %v) here, (%v, %v) at N0",
+			ErrConfigMismatch, e.F, e.Gamma, msg.F, msg.Gamma)
+	case msg.Seed != e.Seed:
+		return fmt.Errorf("%w: seed = %d here, %d at N0", ErrConfigMismatch, e.Seed, msg.Seed)
+	case msg.Txns != e.Txns:
+		return fmt.Errorf("%w: corpus has %d transactions here, %d at N0", ErrConfigMismatch, e.Txns, msg.Txns)
+	case msg.PartitionHash != e.PartitionHash:
+		return fmt.Errorf("%w: data partition diverges from N0's (check the split flags)", ErrConfigMismatch)
+	}
+	return nil
+}
+
+// PartitionFingerprint hashes a data partition (FNV-1a over part sizes and
+// indices) so peers can cross-check that they derived the same split.
+func PartitionFingerprint(part [][]int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	for _, p := range part {
+		mix(^uint64(0)) // part separator
+		for _, idx := range p {
+			mix(uint64(idx))
+		}
+	}
+	return h
+}
+
+// Peer is one protocol participant. Create it with NewPeer and execute the
+// protocol with RunSession; a Peer can run several sessions sequentially.
+type Peer struct {
+	cfg PeerConfig
+}
+
+// NewPeer validates and captures a peer configuration.
+func NewPeer(cfg PeerConfig) *Peer {
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	return &Peer{cfg: cfg}
+}
+
+// SessionResult is the local outcome of one completed session.
+type SessionResult struct {
+	// Assign is the final local assignment, parallel to PeerConfig.Local.
+	Assign []int
+	// Reps are the final global representatives as seen by this peer (all
+	// peers converge to the same set on termination).
+	Reps []*txn.Transaction
+	// Rounds is the number of collaborative rounds executed.
+	Rounds int
+	// Report carries the per-round accounting.
+	Report PeerReport
+	// PendingAssigns are AssignMsg reports from peers that terminated
+	// ahead of this one and whose messages overtook the final round
+	// (coordinator only; consumed by RunPeer's collection step).
+	PendingAssigns []AssignMsg
+}
+
+// RunSession executes the CXK-means protocol for this peer until
+// convergence, MaxRounds, ctx cancellation or a protocol failure. Errors
+// are *SessionError values wrapping the typed causes of phase.go.
+func (p *Peer) RunSession(ctx context.Context) (*SessionResult, error) {
+	s := newSession(p)
+	for s.phase != PhaseDone {
+		if err := s.step(ctx); err != nil {
+			return nil, &SessionError{Peer: p.cfg.ID, Round: s.round, Phase: s.phase, Err: err}
+		}
+	}
+	return s.result(), nil
+}
+
+// session owns the run state of one protocol execution: the current phase
+// and round, the representative sets, the reordering buffers and the
+// per-round accounting. Each phase is one method; step dispatches on the
+// current phase and the phase methods perform the transitions.
+type session struct {
+	p        *Peer
+	phase    Phase
+	round    int
+	deadline time.Time // armed at every blocking-receive phase entry
+
+	// Protocol state (Fig. 5 notation in the comments of peer fields).
+	k          int
+	m          int
+	zs         [][]int
+	zi         []int
+	global     []*txn.Transaction // g_1..g_k
+	localRp    []*txn.Transaction // ℓ_i1..ℓ_ik
+	newLocalRp []*txn.Transaction // scratch for the current round
+	sizes      []int              // |C_i_j|
+	assign     []int              // local assignment
+	rounds     int
+	report     PeerReport
+	// seenStates fingerprints past local-representative states. Fig. 5
+	// terminates on exact representative stability; greedy representative
+	// refinement can cycle through a short orbit of states instead of
+	// reaching a fixpoint, so a revisited state is treated as stable
+	// (guaranteeing termination without changing converged results).
+	seenStates map[uint64]struct{}
+	// changed / bySender / anyContinue carry intermediate per-round state
+	// between the Relocate, ExchangeLocals and RefineGlobals phases.
+	changed     bool
+	bySender    []map[int]WeightedWireRep
+	anyContinue bool
+
+	// Message reordering buffers: peers may run ahead by one phase, so
+	// envelopes are buffered per (round, type). A peer that terminates
+	// ahead of this one may even deliver its post-session AssignMsg while
+	// this session still drains the final round; those are parked in
+	// pendAssign for the post-session consumer (see RunPeer).
+	pendGlobal map[int][]GlobalRepsMsg
+	pendLocal  map[int][]LocalRepsMsg
+	pendAssign []AssignMsg
+}
+
+func newSession(p *Peer) *session {
+	return &session{
+		p:          p,
+		phase:      PhaseStartup,
+		m:          p.cfg.Transport.Peers(),
+		seenStates: map[uint64]struct{}{},
+		pendGlobal: map[int][]GlobalRepsMsg{},
+		pendLocal:  map[int][]LocalRepsMsg{},
+	}
+}
+
+// step executes the current phase. Phase methods mutate s.phase to advance
+// the state machine.
+func (s *session) step(ctx context.Context) error {
+	switch s.phase {
+	case PhaseStartup:
+		return s.startup(ctx)
+	case PhaseBroadcastGlobals:
+		return s.broadcastGlobals(ctx)
+	case PhaseRelocate:
+		return s.relocate(ctx)
+	case PhaseExchangeLocals:
+		return s.exchangeLocals(ctx)
+	case PhaseRefineGlobals:
+		return s.refineGlobals(ctx)
+	default:
+		return fmt.Errorf("core: step in terminal phase %s", s.phase)
+	}
+}
+
+// startup awaits N0's StartMsg, initializes the protocol state and selects
+// the initial global representatives this peer is responsible for. Round
+// messages from fast neighbours may overtake the StartMsg on a real network
+// (FIFO holds per connection, not across connections), so they are buffered
+// rather than rejected.
+func (s *session) startup(ctx context.Context) error {
+	s.armStartupDeadline()
+	var startMsg StartMsg
+awaitStart:
+	for {
+		env, err := s.recvEnvelope(ctx)
+		if err != nil {
+			return err
+		}
+		switch msg := env.Payload.(type) {
+		case StartMsg:
+			startMsg = msg
+			break awaitStart
+		case GlobalRepsMsg:
+			s.pendGlobal[msg.Round] = append(s.pendGlobal[msg.Round], msg)
+		case LocalRepsMsg:
+			s.pendLocal[msg.Round] = append(s.pendLocal[msg.Round], msg)
+		case AssignMsg:
+			s.pendAssign = append(s.pendAssign, msg)
+		default:
+			return fmt.Errorf("%w: expected StartMsg, got %T", ErrUnexpectedMessage, env.Payload)
+		}
+	}
+	id := s.p.cfg.ID
+	if len(startMsg.Zs) != s.m || id >= s.m {
+		return fmt.Errorf("%w: StartMsg for %d peers, transport has %d (peer %d)",
+			ErrUnexpectedMessage, len(startMsg.Zs), s.m, id)
+	}
+	if e := s.p.cfg.Expect; e != nil {
+		if err := e.check(startMsg); err != nil {
+			return err
+		}
+	}
+	s.k = startMsg.K
+	s.zs = startMsg.Zs
+	s.zi = startMsg.Zs[id]
+
+	s.global = make([]*txn.Transaction, s.k)
+	s.localRp = make([]*txn.Transaction, s.k)
+	s.sizes = make([]int, s.k)
+	s.assign = make([]int, len(s.p.cfg.Local))
+	for i := range s.assign {
+		s.assign[i] = cluster.TrashCluster
+	}
+
+	// Select q_i initial global representatives from distinct local trees.
+	rng := rand.New(rand.NewSource(s.p.cfg.Seed))
+	for idx, tr := range cluster.SelectInitial(s.p.cfg.Local, len(s.zi), rng) {
+		s.global[s.zi[idx]] = tr
+	}
+	s.phase = PhaseBroadcastGlobals
+	return nil
+}
+
+// broadcastGlobals is protocol phase 1: send the global representatives
+// this peer is responsible for, then collect everyone else's.
+func (s *session) broadcastGlobals(ctx context.Context) error {
+	s.rounds = s.round + 1
+	s.growRound(s.round)
+
+	own := map[int]WireTxn{}
+	for _, j := range s.zi {
+		own[j] = toWire(s.items(), s.global[j])
+	}
+	id := s.p.cfg.ID
+	for h := 0; h < s.m; h++ {
+		if h == id {
+			continue
+		}
+		if err := s.send(s.round, h, GlobalRepsMsg{From: id, Round: s.round, Reps: own}); err != nil {
+			return err
+		}
+	}
+	s.armDeadline()
+	for received := 0; received < s.m-1; {
+		msg, err := s.nextGlobal(ctx, s.round)
+		if err != nil {
+			return err
+		}
+		for j, w := range msg.Reps {
+			s.global[j] = fromWire(s.items(), w)
+		}
+		received++
+	}
+	s.phase = PhaseRelocate
+	return nil
+}
+
+// relocate is protocol phase 2: the local relocation loop against the fixed
+// globals, followed by the local representative of every non-empty cluster.
+func (s *session) relocate(ctx context.Context) error {
+	_ = ctx // pure local compute; cancellation is observed at the next receive
+	cfg := &s.p.cfg
+	repCfg := cluster.RepConfig{Ctx: cfg.Ctx, Rule: cfg.Rule, Workers: cfg.Workers}
+	s.compute(s.round, func() {
+		for {
+			assign := cluster.RelocateWorkers(cfg.Ctx, cfg.Local, s.global, cfg.Workers)
+			if intsEqual(assign, s.assign) {
+				break
+			}
+			s.assign = assign
+		}
+		members := make([][]*txn.Transaction, s.k)
+		for i, a := range s.assign {
+			if a >= 0 {
+				members[a] = append(members[a], cfg.Local[i])
+			}
+		}
+		for j := 0; j < s.k; j++ {
+			s.sizes[j] = len(members[j])
+			if len(members[j]) == 0 {
+				s.newLocalRp[j] = nil
+				continue
+			}
+			s.newLocalRp[j] = cluster.ComputeLocalRepresentative(repCfg, members[j])
+		}
+	})
+	s.changed = !repSliceEqual(s.newLocalRp, s.localRp)
+	copy(s.localRp, s.newLocalRp)
+	if s.changed {
+		fp := fingerprintReps(s.localRp)
+		if _, cycle := s.seenStates[fp]; cycle {
+			s.changed = false
+		}
+		s.seenStates[fp] = struct{}{}
+	}
+	s.phase = PhaseExchangeLocals
+	return nil
+}
+
+// exchangeLocals is protocol phase 3: exchange local representatives (or a
+// done broadcast) and collect the other peers' for own clusters. When every
+// peer is done the session terminates; the flags are identical at every
+// peer, so termination is consistent.
+func (s *session) exchangeLocals(ctx context.Context) error {
+	id := s.p.cfg.ID
+	flag := FlagContinue
+	if !s.changed {
+		flag = FlagDone
+	}
+	for h := 0; h < s.m; h++ {
+		if h == id {
+			continue
+		}
+		msg := LocalRepsMsg{From: id, Round: s.round, Flag: flag}
+		if s.changed {
+			reps := map[int]WeightedWireRep{}
+			for _, j := range s.zs[h] {
+				if s.localRp[j] != nil {
+					reps[j] = WeightedWireRep{Rep: toWire(s.items(), s.localRp[j]), Weight: s.sizes[j]}
+				}
+			}
+			msg.Reps = reps
+		}
+		if err := s.send(s.round, h, msg); err != nil {
+			return err
+		}
+	}
+
+	// Per-sender slots keep the representative input order deterministic
+	// regardless of message arrival order (reproducibility for a fixed
+	// seed; floating-point aggregation is order-sensitive).
+	s.bySender = make([]map[int]WeightedWireRep, s.m)
+	s.anyContinue = s.changed
+	s.armDeadline()
+	for received := 0; received < s.m-1; {
+		msg, err := s.nextLocal(ctx, s.round)
+		if err != nil {
+			return err
+		}
+		if msg.Flag == FlagContinue {
+			s.anyContinue = true
+		}
+		s.bySender[msg.From] = msg.Reps
+		received++
+	}
+
+	if !s.anyContinue {
+		s.phase = PhaseDone // V_1 = … = V_m = done
+		return nil
+	}
+	s.phase = PhaseRefineGlobals
+	return nil
+}
+
+// refineGlobals is protocol phase 4: compute the global representatives for
+// own clusters from the m local representatives in peer-id order, then
+// advance the round.
+func (s *session) refineGlobals(ctx context.Context) error {
+	_ = ctx // pure local compute; cancellation is observed at the next receive
+	cfg := &s.p.cfg
+	repCfg := cluster.RepConfig{Ctx: cfg.Ctx, Rule: cfg.Rule, Workers: cfg.Workers}
+	s.compute(s.round, func() {
+		for _, j := range s.zi {
+			var reps []cluster.WeightedRep
+			for h := 0; h < s.m; h++ {
+				if h == cfg.ID {
+					if s.localRp[j] != nil {
+						reps = append(reps, cluster.WeightedRep{Rep: s.localRp[j], Weight: s.sizes[j]})
+					}
+					continue
+				}
+				if wr, ok := s.bySender[h][j]; ok {
+					reps = append(reps, cluster.WeightedRep{Rep: fromWire(s.items(), wr.Rep), Weight: wr.Weight})
+				}
+			}
+			if len(reps) == 0 {
+				continue // keep the previous global representative
+			}
+			if g := cluster.ComputeGlobalRepresentative(repCfg, reps); g != nil {
+				s.global[j] = g
+			}
+		}
+	})
+	s.bySender = nil
+	s.round++
+	if s.round >= s.p.cfg.MaxRounds {
+		s.phase = PhaseDone
+		return nil
+	}
+	s.phase = PhaseBroadcastGlobals
+	return nil
+}
+
+// result snapshots the session outcome.
+func (s *session) result() *SessionResult {
+	return &SessionResult{
+		Assign:         append([]int(nil), s.assign...),
+		Reps:           append([]*txn.Transaction(nil), s.global...),
+		Rounds:         s.rounds,
+		Report:         s.report,
+		PendingAssigns: s.pendAssign,
+	}
+}
+
+// armDeadline starts the receive deadline for the current blocking phase.
+func (s *session) armDeadline() {
+	if s.p.cfg.RoundTimeout > 0 {
+		s.deadline = time.Now().Add(s.p.cfg.RoundTimeout)
+	} else {
+		s.deadline = time.Time{}
+	}
+}
+
+// armStartupDeadline starts the (typically longer) deadline for the wait on
+// N0's StartMsg: peer processes boot in any order, so the first wait must
+// tolerate the whole cluster's spin-up, not just one round's slack.
+func (s *session) armStartupDeadline() {
+	st := s.p.cfg.StartupTimeout
+	switch {
+	case st > 0:
+		s.deadline = time.Now().Add(st)
+	case st == 0:
+		s.armDeadline()
+	default:
+		s.deadline = time.Time{}
+	}
+}
+
+// recvEnvelope blocks for the next envelope, honouring ctx and the armed
+// phase deadline.
+func (s *session) recvEnvelope(ctx context.Context) (p2p.Envelope, error) {
+	ch := s.p.cfg.Transport.Recv(s.p.cfg.ID)
+	var timerC <-chan time.Time
+	if !s.deadline.IsZero() {
+		d := time.Until(s.deadline)
+		if d <= 0 {
+			return p2p.Envelope{}, ErrRoundDeadline
+		}
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return p2p.Envelope{}, ErrTransportClosed
+		}
+		return env, nil
+	case <-ctxDone:
+		return p2p.Envelope{}, ctx.Err()
+	case <-timerC:
+		return p2p.Envelope{}, ErrRoundDeadline
+	}
+}
+
+// growRound ensures the per-round accounting slices cover the given round.
+// Idempotent: messages can arrive one phase ahead of the local round.
+func (s *session) growRound(round int) {
+	for len(s.report.ComputeByRound) <= round {
+		s.report.ComputeByRound = append(s.report.ComputeByRound, 0)
+		s.report.SentBytesByRound = append(s.report.SentBytesByRound, 0)
+		s.report.RecvBytesByRound = append(s.report.RecvBytesByRound, 0)
+		s.report.SentMsgsByRound = append(s.report.SentMsgsByRound, 0)
+		s.report.RecvMsgsByRound = append(s.report.RecvMsgsByRound, 0)
+	}
+	s.report.LocalTransactions = len(s.p.cfg.Local)
+	if s.newLocalRp == nil {
+		s.newLocalRp = make([]*txn.Transaction, s.k)
+	}
+}
+
+// compute runs fn under the optional compute token, accounting its wall
+// time to the given round.
+func (s *session) compute(round int, fn func()) {
+	if tok := s.p.cfg.ComputeToken; tok != nil {
+		<-tok
+		defer func() { tok <- struct{}{} }()
+	}
+	t0 := time.Now()
+	fn()
+	s.report.ComputeByRound[round] += time.Since(t0)
+}
+
+// send delivers a payload and accounts it; transport failures fail the
+// session (a silent drop would leave the receiving peer to starve).
+func (s *session) send(round, to int, payload any) error {
+	if err := s.p.cfg.Transport.Send(s.p.cfg.ID, to, payload); err != nil {
+		return fmt.Errorf("%w: to peer %d: %v", ErrSend, to, err)
+	}
+	s.report.SentMsgsByRound[round]++
+	s.report.SentBytesByRound[round] += s.size(payload)
+	return nil
+}
+
+func (s *session) size(payload any) int64 {
+	if s.p.cfg.Sizer == nil {
+		return 0
+	}
+	return s.p.cfg.Sizer(payload)
+}
+
+// items is the peer's interning table (shared in-process, private per OS
+// process).
+func (s *session) items() *txn.ItemTable { return s.p.cfg.Ctx.Items }
+
+func (s *session) recvAccount(round int, env p2p.Envelope) {
+	if round < 0 || s.k == 0 {
+		return // startup message, before the protocol state exists
+	}
+	s.growRound(round)
+	s.report.RecvMsgsByRound[round]++
+	s.report.RecvBytesByRound[round] += s.size(env.Payload)
+}
+
+// nextGlobal returns the next GlobalRepsMsg for the given round, buffering
+// out-of-phase messages.
+func (s *session) nextGlobal(ctx context.Context, round int) (GlobalRepsMsg, error) {
+	if q := s.pendGlobal[round]; len(q) > 0 {
+		msg := q[0]
+		s.pendGlobal[round] = q[1:]
+		return msg, nil
+	}
+	for {
+		env, err := s.recvEnvelope(ctx)
+		if err != nil {
+			return GlobalRepsMsg{}, err
+		}
+		switch msg := env.Payload.(type) {
+		case GlobalRepsMsg:
+			s.recvAccount(msg.Round, env)
+			if msg.Round == round {
+				return msg, nil
+			}
+			s.pendGlobal[msg.Round] = append(s.pendGlobal[msg.Round], msg)
+		case LocalRepsMsg:
+			s.recvAccount(msg.Round, env)
+			s.pendLocal[msg.Round] = append(s.pendLocal[msg.Round], msg)
+		case AssignMsg:
+			s.pendAssign = append(s.pendAssign, msg)
+		default:
+			return GlobalRepsMsg{}, fmt.Errorf("%w: %T while awaiting global reps", ErrUnexpectedMessage, env.Payload)
+		}
+	}
+}
+
+// nextLocal returns the next LocalRepsMsg for the given round.
+func (s *session) nextLocal(ctx context.Context, round int) (LocalRepsMsg, error) {
+	if q := s.pendLocal[round]; len(q) > 0 {
+		msg := q[0]
+		s.pendLocal[round] = q[1:]
+		return msg, nil
+	}
+	for {
+		env, err := s.recvEnvelope(ctx)
+		if err != nil {
+			return LocalRepsMsg{}, err
+		}
+		switch msg := env.Payload.(type) {
+		case LocalRepsMsg:
+			s.recvAccount(msg.Round, env)
+			if msg.Round == round {
+				return msg, nil
+			}
+			s.pendLocal[msg.Round] = append(s.pendLocal[msg.Round], msg)
+		case GlobalRepsMsg:
+			s.recvAccount(msg.Round, env)
+			s.pendGlobal[msg.Round] = append(s.pendGlobal[msg.Round], msg)
+		case AssignMsg:
+			s.pendAssign = append(s.pendAssign, msg)
+		default:
+			return LocalRepsMsg{}, fmt.Errorf("%w: %T while awaiting local reps", ErrUnexpectedMessage, env.Payload)
+		}
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprintReps hashes a representative slice (FNV-1a over item ids and
+// separators) for cycle detection.
+func fingerprintReps(reps []*txn.Transaction) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	for _, rep := range reps {
+		mix(^uint64(0)) // cluster separator
+		if rep == nil {
+			continue
+		}
+		for _, id := range rep.Items {
+			mix(uint64(id))
+		}
+	}
+	return h
+}
+
+func repSliceEqual(a, b []*txn.Transaction) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		switch {
+		case a[i] == nil && b[i] == nil:
+		case a[i] == nil || b[i] == nil:
+			return false
+		case !a[i].Equal(b[i]):
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,323 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default Node tunables.
+const (
+	// DefaultDialTimeout bounds how long a Node retries dialing a peer
+	// whose listener is not up yet (peer processes boot independently).
+	DefaultDialTimeout = 30 * time.Second
+	// DefaultDialRetry is the pause between dial attempts.
+	DefaultDialRetry = 50 * time.Millisecond
+	// DefaultWriteTimeout bounds one frame write. A peer that stops
+	// reading (wedged process, full socket buffers) would otherwise block
+	// the sender forever — the session's RoundTimeout only covers
+	// receives, not a send stuck in the kernel.
+	DefaultWriteTimeout = 30 * time.Second
+)
+
+// NodeOptions tunes a single Node.
+type NodeOptions struct {
+	// DialTimeout bounds how long Send waits for a peer's listener to come
+	// up; dials are retried until the deadline (0 = DefaultDialTimeout).
+	DialTimeout time.Duration
+	// RetryInterval is the pause between dial attempts (0 = DefaultDialRetry).
+	RetryInterval time.Duration
+	// WriteTimeout bounds each frame write (0 = DefaultWriteTimeout,
+	// negative = none). A timed-out write fails the Send, which fails the
+	// sending session instead of hanging it.
+	WriteTimeout time.Duration
+	// InboxDepth sizes the receive buffer (0 = DefaultInboxDepth).
+	InboxDepth int
+}
+
+// Node is the single-peer TCP transport: one process hosts exactly one peer.
+// It listens on one address, dials the other peers through a peer-id→address
+// table, and opens every outgoing connection with a gob handshake carrying
+// its peer id. Frames travel length-prefixed, so the receive side stamps
+// Envelope.Bytes with the actual wire size.
+//
+// Node implements Transport for its own id only: Send requires from == ID()
+// and Recv must be called with self == ID(). In-process deployments that
+// need all m peers in one struct use ChanTransport or the TCPTransport
+// adapter (m Nodes behind the old interface).
+type Node struct {
+	id    int
+	addrs []string
+	ln    net.Listener
+	inbox chan Envelope
+	opts  NodeOptions
+
+	sent Stats
+	recv Stats
+
+	mu       sync.Mutex
+	dialed   map[int]*nodeConn
+	accepted map[net.Conn]struct{}
+	closed   atomic.Bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// nodeConn serializes frame writes on one outgoing connection.
+type nodeConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// ListenNode starts a Node for peer id listening on addrs[id].
+func ListenNode(id int, addrs []string, opts NodeOptions) (*Node, error) {
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("p2p: node id %d outside peer table of %d", id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("p2p: node %d listen %s: %w", id, addrs[id], err)
+	}
+	return NewNode(id, ln, addrs, opts), nil
+}
+
+// NewNode starts a Node for peer id on an existing listener. addrs is the
+// peer-id→address table used for outgoing dials; addrs[id] is informational
+// (the listener may be bound to a different interface or an ephemeral port).
+func NewNode(id int, ln net.Listener, addrs []string, opts NodeOptions) *Node {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = DefaultDialTimeout
+	}
+	if opts.RetryInterval <= 0 {
+		opts.RetryInterval = DefaultDialRetry
+	}
+	if opts.WriteTimeout == 0 {
+		opts.WriteTimeout = DefaultWriteTimeout
+	}
+	if opts.InboxDepth <= 0 {
+		opts.InboxDepth = DefaultInboxDepth
+	}
+	n := &Node{
+		id:       id,
+		addrs:    append([]string(nil), addrs...),
+		ln:       ln,
+		inbox:    make(chan Envelope, opts.InboxDepth),
+		opts:     opts,
+		dialed:   map[int]*nodeConn{},
+		accepted: map[net.Conn]struct{}{},
+		done:     make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n
+}
+
+// ID returns this node's peer id.
+func (n *Node) ID() int { return n.id }
+
+// Addr returns the bound listen address (useful with ephemeral ports).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed.Load() {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.accepted[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	// Handshake: the first frame must identify the dialing peer and be
+	// addressed to this node. A violation means a mis-wired peer table;
+	// drop the connection.
+	f, _, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	h, ok := f.Payload.(hello)
+	if !ok || h.From < 0 || h.From >= len(n.addrs) || f.To != n.id {
+		return
+	}
+	for {
+		f, sz, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if f.To != n.id {
+			continue // misrouted frame; drop
+		}
+		select {
+		case n.inbox <- Envelope{From: f.From, To: f.To, Bytes: sz, Payload: f.Payload}:
+			n.recv.Messages.Add(1)
+			n.recv.Bytes.Add(sz)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// Send implements Transport. from must equal the node's own id; sending to
+// self is delivered through the local inbox with the same size accounting a
+// wire round-trip would produce.
+func (n *Node) Send(from, to int, payload any) error {
+	if n.closed.Load() {
+		return errors.New("p2p: node closed")
+	}
+	if from != n.id {
+		return fmt.Errorf("p2p: node %d cannot send as peer %d", n.id, from)
+	}
+	if to < 0 || to >= len(n.addrs) {
+		return fmt.Errorf("p2p: unknown peer %d", to)
+	}
+	f := wireFrame{From: from, To: to, Payload: payload}
+	if to == n.id {
+		sz, err := frameSize(f)
+		if err != nil {
+			return err
+		}
+		select {
+		case n.inbox <- Envelope{From: from, To: to, Bytes: sz, Payload: payload}:
+		case <-n.done:
+			return errors.New("p2p: node closed")
+		}
+		n.sent.Messages.Add(1)
+		n.sent.Bytes.Add(sz)
+		n.recv.Messages.Add(1)
+		n.recv.Bytes.Add(sz)
+		return nil
+	}
+	pc, err := n.connTo(to)
+	if err != nil {
+		return err
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if n.opts.WriteTimeout > 0 {
+		pc.conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
+	}
+	sz, err := writeFrame(pc.conn, f)
+	if err != nil {
+		return fmt.Errorf("p2p: node %d send to %d: %w", n.id, to, err)
+	}
+	n.sent.Messages.Add(1)
+	n.sent.Bytes.Add(sz)
+	return nil
+}
+
+// connTo returns the (lazily dialed) outgoing connection to a peer. Dials
+// are retried until DialTimeout because peer processes start independently
+// and a neighbour's listener may not be up yet.
+func (n *Node) connTo(to int) (*nodeConn, error) {
+	n.mu.Lock()
+	if pc, ok := n.dialed[to]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	n.mu.Unlock()
+
+	deadline := time.Now().Add(n.opts.DialTimeout)
+	var conn net.Conn
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("p2p: node %d: dial peer %d (%s): timed out after %v",
+				n.id, to, n.addrs[to], n.opts.DialTimeout)
+		}
+		var err error
+		conn, err = net.DialTimeout("tcp", n.addrs[to], remaining)
+		if err == nil {
+			break
+		}
+		select {
+		case <-n.done:
+			return nil, errors.New("p2p: node closed")
+		case <-time.After(n.opts.RetryInterval):
+		}
+	}
+	// Handshake first, so the acceptor can attribute the connection before
+	// any payload frame arrives. Handshake traffic stays out of the stats
+	// on both sides.
+	if n.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(n.opts.WriteTimeout))
+	}
+	if _, err := writeFrame(conn, wireFrame{From: n.id, To: to, Payload: hello{From: n.id}}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("p2p: node %d handshake with %d: %w", n.id, to, err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed.Load() {
+		conn.Close()
+		return nil, errors.New("p2p: node closed")
+	}
+	if pc, ok := n.dialed[to]; ok { // lost a concurrent dial race
+		conn.Close()
+		return pc, nil
+	}
+	pc := &nodeConn{conn: conn}
+	n.dialed[to] = pc
+	return pc, nil
+}
+
+// Recv implements Transport; self must be the node's own id.
+func (n *Node) Recv(self int) <-chan Envelope {
+	if self != n.id {
+		panic(fmt.Sprintf("p2p: node %d asked for peer %d's inbox", n.id, self))
+	}
+	return n.inbox
+}
+
+// Peers implements Transport.
+func (n *Node) Peers() int { return len(n.addrs) }
+
+// Close shuts the listener and all connections down and waits for the
+// accept/read goroutines to exit. Idempotent.
+func (n *Node) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	close(n.done)
+	n.ln.Close()
+	n.mu.Lock()
+	for _, pc := range n.dialed {
+		pc.conn.Close()
+	}
+	for conn := range n.accepted {
+		conn.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return nil
+}
+
+// SentStats returns the messages/bytes this node put on the wire.
+func (n *Node) SentStats() (msgs, bytes int64) {
+	return n.sent.Messages.Load(), n.sent.Bytes.Load()
+}
+
+// RecvStats returns the messages/bytes this node delivered from the wire.
+func (n *Node) RecvStats() (msgs, bytes int64) {
+	return n.recv.Messages.Load(), n.recv.Bytes.Load()
+}

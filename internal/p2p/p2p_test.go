@@ -103,6 +103,7 @@ func TestChanTransportConcurrentSenders(t *testing.T) {
 }
 
 func TestTCPTransportDelivery(t *testing.T) {
+	defer checkGoroutines(t)()
 	tr, err := NewTCPTransport(3)
 	if err != nil {
 		t.Fatal(err)
@@ -135,6 +136,7 @@ func TestTCPTransportDelivery(t *testing.T) {
 }
 
 func TestTCPTransportManyMessagesOrdered(t *testing.T) {
+	defer checkGoroutines(t)()
 	tr, err := NewTCPTransport(2)
 	if err != nil {
 		t.Fatal(err)
@@ -163,6 +165,7 @@ func TestTCPTransportManyMessagesOrdered(t *testing.T) {
 }
 
 func TestTCPTransportBidirectional(t *testing.T) {
+	defer checkGoroutines(t)()
 	tr, err := NewTCPTransport(2)
 	if err != nil {
 		t.Fatal(err)
@@ -195,6 +198,7 @@ func TestTCPTransportBidirectional(t *testing.T) {
 }
 
 func TestTCPTransportCloseIdempotent(t *testing.T) {
+	defer checkGoroutines(t)()
 	tr, err := NewTCPTransport(2)
 	if err != nil {
 		t.Fatal(err)
@@ -249,5 +253,48 @@ func BenchmarkChanTransportSend(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr.Send(0, 1, testMsg{From: i})
+	}
+}
+
+// TestTCPTransportRecvStatsReconcile asserts the sender- and receiver-side
+// accounting of the TCP adapter agree exactly, and that the read path
+// stamps the actual wire size on every envelope.
+func TestTCPTransportRecvStatsReconcile(t *testing.T) {
+	defer checkGoroutines(t)()
+	tr, err := NewTCPTransport(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := tr.Send(i%3, (i+1)%3, testMsg{From: i, Body: "acct"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var envBytes int64
+	for peer := 0; peer < 3; peer++ {
+		for i := 0; i < n/3; i++ {
+			select {
+			case env := <-tr.Recv(peer):
+				if env.Bytes <= 0 {
+					t.Fatalf("peer %d: read path did not stamp wire size", peer)
+				}
+				envBytes += env.Bytes
+			case <-time.After(5 * time.Second):
+				t.Fatalf("peer %d stalled after %d messages", peer, i)
+			}
+		}
+	}
+	sentMsgs, sentBytes := tr.Stats()
+	recvMsgs, recvBytes := tr.RecvStats()
+	if sentMsgs != n || recvMsgs != n {
+		t.Errorf("messages: sent %d recv %d want %d", sentMsgs, recvMsgs, n)
+	}
+	if sentBytes != recvBytes || sentBytes <= 0 {
+		t.Errorf("bytes diverge: sent %d recv %d", sentBytes, recvBytes)
+	}
+	if envBytes != recvBytes {
+		t.Errorf("envelope sizes (%d) disagree with recv counter (%d)", envBytes, recvBytes)
 	}
 }

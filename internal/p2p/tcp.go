@@ -1,185 +1,104 @@
 package p2p
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"net"
-	"sync"
-	"sync/atomic"
 )
 
-// wireFrame is the gob frame exchanged by TCPTransport.
-type wireFrame struct {
-	From    int
-	To      int
-	Payload any
-}
-
-// RegisterWireType registers a concrete payload type with gob so it can
-// travel through TCPTransport. Algorithms register their message structs in
-// an init function.
-func RegisterWireType(v any) { gob.Register(v) }
-
-// TCPTransport runs one loopback listener per peer and lazily dials
-// outgoing connections. Frames are gob-encoded; the stamped Envelope.Bytes
-// is the actual encoded frame size.
+// TCPTransport is the in-process loopback adapter over the single-peer Node
+// transport: it hosts m Nodes on 127.0.0.1 ephemeral ports behind the
+// classic all-peers Transport interface, so tests and single-machine runs
+// exercise the same wire format, handshake and accounting as a real
+// multi-process deployment.
 type TCPTransport struct {
-	listeners []net.Listener
-	addrs     []string
-	inboxes   []chan Envelope
-	stats     Stats
-
-	mu     sync.Mutex
-	conns  map[connKey]*peerConn
-	closed atomic.Bool
-	wg     sync.WaitGroup
-}
-
-type connKey struct{ from, to int }
-
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	cnt  *countingWriter
-}
-
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (cw *countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.n += int64(n)
-	return n, err
+	nodes []*Node
 }
 
 // NewTCPTransport creates m peers listening on 127.0.0.1 ephemeral ports.
 func NewTCPTransport(m int) (*TCPTransport, error) {
-	t := &TCPTransport{
-		listeners: make([]net.Listener, m),
-		addrs:     make([]string, m),
-		inboxes:   make([]chan Envelope, m),
-		conns:     map[connKey]*peerConn{},
-	}
+	listeners := make([]net.Listener, m)
+	addrs := make([]string, m)
 	for i := 0; i < m; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			t.Close()
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
 			return nil, fmt.Errorf("p2p: listen peer %d: %w", i, err)
 		}
-		t.listeners[i] = ln
-		t.addrs[i] = ln.Addr().String()
-		t.inboxes[i] = make(chan Envelope, DefaultInboxDepth)
-		t.wg.Add(1)
-		go t.acceptLoop(i, ln)
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	t := &TCPTransport{nodes: make([]*Node, m)}
+	for i := 0; i < m; i++ {
+		t.nodes[i] = NewNode(i, listeners[i], addrs, NodeOptions{})
 	}
 	return t, nil
 }
 
-func (t *TCPTransport) acceptLoop(self int, ln net.Listener) {
-	defer t.wg.Done()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		t.wg.Add(1)
-		go t.readLoop(self, conn)
-	}
-}
-
-func (t *TCPTransport) readLoop(self int, conn net.Conn) {
-	defer t.wg.Done()
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	for {
-		var f wireFrame
-		if err := dec.Decode(&f); err != nil {
-			return
-		}
-		if t.closed.Load() {
-			return
-		}
-		// Size on the read side is not directly observable per frame with
-		// gob; the sender stamps sizes, so the receiver recomputes nothing
-		// and Envelope.Bytes is filled from a size prefix carried in-band.
-		t.inboxes[self] <- Envelope{From: f.From, To: f.To, Payload: f.Payload}
-	}
-}
-
-// Send implements Transport.
+// Send implements Transport by routing through the sending peer's Node.
 func (t *TCPTransport) Send(from, to int, payload any) error {
-	if t.closed.Load() {
-		return errors.New("p2p: transport closed")
+	if from < 0 || from >= len(t.nodes) {
+		return fmt.Errorf("p2p: unknown sender %d", from)
 	}
-	if to < 0 || to >= len(t.addrs) {
-		return fmt.Errorf("p2p: unknown peer %d", to)
-	}
-	pc, err := t.conn(from, to)
-	if err != nil {
-		return err
-	}
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	before := pc.cnt.n
-	if err := pc.enc.Encode(wireFrame{From: from, To: to, Payload: payload}); err != nil {
-		return fmt.Errorf("p2p: send %d→%d: %w", from, to, err)
-	}
-	n := pc.cnt.n - before
-	t.stats.Messages.Add(1)
-	t.stats.Bytes.Add(n)
-	return nil
-}
-
-func (t *TCPTransport) conn(from, to int) (*peerConn, error) {
-	key := connKey{from, to}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if pc, ok := t.conns[key]; ok {
-		return pc, nil
-	}
-	c, err := net.Dial("tcp", t.addrs[to])
-	if err != nil {
-		return nil, fmt.Errorf("p2p: dial %d→%d: %w", from, to, err)
-	}
-	cw := &countingWriter{w: c}
-	pc := &peerConn{conn: c, enc: gob.NewEncoder(cw), cnt: cw}
-	t.conns[key] = pc
-	return pc, nil
+	return t.nodes[from].Send(from, to, payload)
 }
 
 // Recv implements Transport.
-func (t *TCPTransport) Recv(self int) <-chan Envelope { return t.inboxes[self] }
+func (t *TCPTransport) Recv(self int) <-chan Envelope { return t.nodes[self].Recv(self) }
 
 // Peers implements Transport.
-func (t *TCPTransport) Peers() int { return len(t.addrs) }
+func (t *TCPTransport) Peers() int { return len(t.nodes) }
 
-// Close implements Transport.
+// Close shuts every Node down; it waits for all accept/read goroutines to
+// exit before returning. Idempotent.
 func (t *TCPTransport) Close() error {
-	if t.closed.Swap(true) {
-		return nil
-	}
-	for _, ln := range t.listeners {
-		if ln != nil {
-			ln.Close()
+	var firstErr error
+	for _, n := range t.nodes {
+		if err := n.Close(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	t.mu.Lock()
-	for _, pc := range t.conns {
-		pc.conn.Close()
-	}
-	t.mu.Unlock()
-	return nil
+	return firstErr
 }
 
-// Stats exposes the global counters (messages, actual encoded bytes).
+// Stats exposes the send-side counters summed over all peers (messages,
+// actual encoded bytes).
 func (t *TCPTransport) Stats() (msgs, bytes int64) {
-	return t.stats.Messages.Load(), t.stats.Bytes.Load()
+	for _, n := range t.nodes {
+		m, b := n.SentStats()
+		msgs += m
+		bytes += b
+	}
+	return msgs, bytes
+}
+
+// RecvStats exposes the receive-side counters summed over all peers. For a
+// quiesced transport they reconcile exactly with Stats: frames are
+// length-prefixed, so both sides count identical wire sizes.
+func (t *TCPTransport) RecvStats() (msgs, bytes int64) {
+	for _, n := range t.nodes {
+		m, b := n.RecvStats()
+		msgs += m
+		bytes += b
+	}
+	return msgs, bytes
 }
 
 // Addrs exposes the listen addresses (diagnostics).
-func (t *TCPTransport) Addrs() []string { return append([]string(nil), t.addrs...) }
+func (t *TCPTransport) Addrs() []string {
+	addrs := make([]string, len(t.nodes))
+	for i, n := range t.nodes {
+		addrs[i] = n.Addr()
+	}
+	return addrs
+}
+
+// Node exposes the underlying single-peer transport of one peer.
+func (t *TCPTransport) Node(i int) (*Node, error) {
+	if i < 0 || i >= len(t.nodes) {
+		return nil, errors.New("p2p: node index out of range")
+	}
+	return t.nodes[i], nil
+}

@@ -1,15 +1,26 @@
 // Package p2p is the peer-to-peer network substrate the distributed
 // algorithms run on. Peers are identified by dense integer ids [0..m).
-// Two Transport implementations are provided:
+//
+// The wire-level primitive is Node: a single-peer transport that listens on
+// one address, dials the other peers through a peer-id→address table, and
+// opens every connection with a gob handshake carrying the dialer's peer id.
+// Frames are gob-encoded and length-prefixed ("net" + "encoding/gob" only),
+// so the frame size travels on the wire and both sides account identical
+// byte counts. One Node per OS process gives a genuinely distributed
+// deployment (see cmd/cxkpeer).
+//
+// Two all-peers adapters implement the same Transport interface for
+// single-process runs:
 //
 //   - ChanTransport: in-process buffered channels — deterministic, zero
 //     dependency, used by tests and benchmarks;
-//   - TCPTransport: one loopback TCP listener per peer with gob-encoded
-//     frames ("net" + "encoding/gob" only) — exercises a real wire.
+//   - TCPTransport: m Nodes on loopback ephemeral ports behind one struct —
+//     exercises the real wire format in one process.
 //
 // Every delivered Envelope is stamped with its wire size so algorithms can
 // account traffic per peer and per round; ChanTransport stamps the modeled
-// size produced by a Sizer, TCPTransport stamps actual encoded bytes.
+// size produced by a Sizer, Node (and therefore TCPTransport) stamps the
+// actual encoded frame size on both the send and the receive path.
 package p2p
 
 import (

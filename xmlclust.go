@@ -27,8 +27,10 @@
 package xmlclust
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"time"
 
@@ -160,6 +162,10 @@ type ClusterOptions struct {
 	UseTCP bool
 	// MaxRounds bounds the collaborative loop (0 = default).
 	MaxRounds int
+	// RoundTimeout bounds every blocking receive of each peer's session;
+	// a peer that waits longer fails the run instead of hanging on a dead
+	// neighbour. 0 disables the deadline (the in-process default).
+	RoundTimeout time.Duration
 }
 
 // Result is a clustering outcome.
@@ -223,7 +229,7 @@ func Cluster(corpus *Corpus, opts ClusterOptions) (*Result, error) {
 		res, err = core.Run(cx, corpus, core.Options{
 			K: opts.K, Params: cx.Params, Peers: peers, Partition: part,
 			Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: transport,
-			Workers: opts.Workers,
+			Workers: opts.Workers, RoundTimeout: opts.RoundTimeout,
 		})
 	}
 	if err != nil {
@@ -239,6 +245,136 @@ func Cluster(corpus *Corpus, opts ClusterOptions) (*Result, error) {
 		TrafficBytes:  bytes,
 		TrafficMsgs:   msgs,
 		K:             opts.K,
+	}, nil
+}
+
+// DefaultRoundTimeout is the per-round receive deadline distributed peer
+// processes use when DistributedOptions.RoundTimeout is zero. A real
+// deployment must not hang forever on a dead neighbour.
+const DefaultRoundTimeout = 60 * time.Second
+
+// DefaultStartupTimeout bounds a distributed peer's wait for the
+// coordinator's startup message. Peer processes boot in any order, so this
+// is much longer than the per-round deadline.
+const DefaultStartupTimeout = 10 * time.Minute
+
+// DistributedOptions configures one peer process of a multi-process
+// CXK-means deployment. Every process must be started with the same corpus,
+// K, F, Gamma, Seed, MaxRounds and split options — the partition and
+// per-peer seeds are derived deterministically from them, so the cluster
+// of processes reproduces the in-process run byte-identically.
+type DistributedOptions struct {
+	// K is the number of clusters (required).
+	K int
+	// F and Gamma are the similarity knobs (see ClusterOptions).
+	F     float64
+	Gamma float64
+	// ID is this process's peer id in [0, len(PeerAddrs)). Peer 0 is the
+	// coordinator: it plays node N0 and collects the final assignment.
+	ID int
+	// PeerAddrs is the shared peer-id→address table (host:port per peer).
+	PeerAddrs []string
+	// Listen overrides the local listen address (default PeerAddrs[ID]);
+	// useful when peers bind 0.0.0.0 but advertise a routable host.
+	Listen string
+	// Workers bounds intra-peer parallelism (see ClusterOptions.Workers).
+	Workers int
+	// UnequalSplit selects the paper's skewed partitioning scenario.
+	UnequalSplit bool
+	// Seed makes the run reproducible (and must match across processes).
+	Seed int64
+	// MaxRounds bounds the collaborative loop (0 = default).
+	MaxRounds int
+	// RoundTimeout bounds every blocking receive (0 = DefaultRoundTimeout,
+	// negative = no deadline).
+	RoundTimeout time.Duration
+	// StartupTimeout bounds the wait for the coordinator's startup
+	// message — peers may boot long before peer 0 does
+	// (0 = DefaultStartupTimeout, negative = no deadline).
+	StartupTimeout time.Duration
+	// DialTimeout bounds how long sends wait for a peer's listener to come
+	// up (0 = p2p default; peers boot independently).
+	DialTimeout time.Duration
+}
+
+// DistributedResult is the outcome of one peer process.
+type DistributedResult struct {
+	// ID echoes the peer id.
+	ID int
+	// LocalAssign maps this peer's local transaction order → cluster.
+	LocalAssign []int
+	// Assign is the corpus-wide assignment (transaction index → cluster);
+	// populated on the coordinator (ID 0) only.
+	Assign []int
+	// Reps holds the final global representatives as seen by this peer.
+	Reps []*Transaction
+	// Rounds is the number of collaborative rounds executed.
+	Rounds int
+	// WallTime is the end-to-end duration of this process's session.
+	WallTime time.Duration
+}
+
+// ClusterDistributed runs ONE peer of a multi-process CXK-means cluster:
+// it listens on this peer's address, dials the others through the shared
+// address table and executes the session engine over the real wire. Launch
+// one process per entry of PeerAddrs (see cmd/cxkpeer); the coordinator's
+// result carries the assembled corpus-wide assignment.
+func ClusterDistributed(corpus *Corpus, opts DistributedOptions) (*DistributedResult, error) {
+	if opts.K <= 0 {
+		return nil, fmt.Errorf("xmlclust: K must be ≥ 1")
+	}
+	m := len(opts.PeerAddrs)
+	if m == 0 {
+		return nil, fmt.Errorf("xmlclust: need at least one peer address")
+	}
+	if opts.ID < 0 || opts.ID >= m {
+		return nil, fmt.Errorf("xmlclust: peer id %d outside [0,%d)", opts.ID, m)
+	}
+	listen := opts.Listen
+	if listen == "" {
+		listen = opts.PeerAddrs[opts.ID]
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("xmlclust: listen %s: %w", listen, err)
+	}
+	node := p2p.NewNode(opts.ID, ln, opts.PeerAddrs, p2p.NodeOptions{DialTimeout: opts.DialTimeout})
+	defer node.Close()
+
+	cx := sim.NewContext(corpus, sim.Params{F: opts.F, Gamma: opts.Gamma})
+	n := len(corpus.Transactions)
+	var part [][]int
+	if opts.UnequalSplit {
+		part = core.UnequalPartition(n, m, opts.Seed)
+	} else {
+		part = core.EqualPartition(n, m, opts.Seed)
+	}
+	rt := opts.RoundTimeout
+	switch {
+	case rt == 0:
+		rt = DefaultRoundTimeout
+	case rt < 0:
+		rt = 0
+	}
+	st := opts.StartupTimeout
+	if st == 0 {
+		st = DefaultStartupTimeout
+	}
+	pres, err := core.RunPeer(context.Background(), cx, corpus, core.Options{
+		K: opts.K, Params: cx.Params, Peers: m, Partition: part,
+		Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: node,
+		Workers: opts.Workers, RoundTimeout: rt, StartupTimeout: st,
+	}, opts.ID)
+	if err != nil {
+		return nil, err
+	}
+	return &DistributedResult{
+		ID:          pres.ID,
+		LocalAssign: pres.Assign,
+		Assign:      pres.Global,
+		Reps:        pres.Reps,
+		Rounds:      pres.Rounds,
+		WallTime:    pres.WallTime,
 	}, nil
 }
 

@@ -2,7 +2,9 @@ package xmlclust
 
 import (
 	"bytes"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -49,7 +51,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 }
 
-func TestClusterDistributed(t *testing.T) {
+func TestClusterMultiPeer(t *testing.T) {
 	corpus := sampleCorpus(t)
 	res, err := Cluster(corpus, ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Peers: 3, Seed: 4})
 	if err != nil {
@@ -63,6 +65,66 @@ func TestClusterDistributed(t *testing.T) {
 	}
 	if res.SimulatedTime <= 0 || res.WallTime <= 0 {
 		t.Error("times not recorded")
+	}
+}
+
+// TestClusterDistributed drives the one-process-per-peer surface: three
+// concurrent ClusterDistributed calls (each with its own Node transport and
+// similarity context, exactly as three OS processes would run) must agree
+// with the in-process engine for the same parameters.
+func TestClusterDistributed(t *testing.T) {
+	corpus := sampleCorpus(t)
+	want, err := Cluster(corpus, ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Peers: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve three loopback addresses for the shared peer table.
+	addrs := make([]string, 3)
+	listeners := make([]net.Listener, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	results := make([]*DistributedResult, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = ClusterDistributed(corpus, DistributedOptions{
+				K: 2, F: 0.5, Gamma: 0.6, ID: i, PeerAddrs: addrs, Seed: 4,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	if results[0].Assign == nil {
+		t.Fatal("coordinator carries no corpus-wide assignment")
+	}
+	for i, a := range want.Assign {
+		if results[0].Assign[i] != a {
+			t.Fatalf("assignment %d differs: distributed %d vs in-process %d", i, results[0].Assign[i], a)
+		}
+	}
+	for i := 1; i < 3; i++ {
+		if results[i].Assign != nil {
+			t.Errorf("peer %d reports a corpus-wide assignment", i)
+		}
+		if len(results[i].LocalAssign) == 0 {
+			t.Errorf("peer %d reports no local assignment", i)
+		}
 	}
 }
 
