@@ -14,11 +14,15 @@ package xmlclust
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
+	"xmlclust/internal/corpus"
 	"xmlclust/internal/dataset"
 	"xmlclust/internal/experiments"
+	"xmlclust/internal/tuple"
+	"xmlclust/internal/xmltree"
 )
 
 func benchScale() experiments.Scale {
@@ -292,3 +296,60 @@ func BenchmarkAblationSemantics(b *testing.B) {
 		b.ReportMetric(pts[2].F, "F-semantic")
 	}
 }
+
+// ------------------------------------------------------------- Ingestion
+
+// benchIngest streams a rendered DBLP corpus from disk through the full
+// ingestion pipeline and reports throughput (docs/s) and allocations per
+// document — the tracked perf surface for the streaming builder.
+func benchIngest(b *testing.B, workers int) {
+	scale := benchScale()
+	col := dataset.DBLP(dataset.Spec{Docs: scale.Docs["DBLP"], Seed: experiments.DataSeed})
+	dir := b.TempDir()
+	for i, tree := range col.Trees {
+		p := filepath.Join(dir, fmt.Sprintf("dblp-%04d.xml", i))
+		f, err := os.Create(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := xmltree.Render(f, tree); err != nil {
+			f.Close()
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var docs, txns int
+	var secs float64
+	for i := 0; i < b.N; i++ {
+		src, err := corpus.Dir(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, stats, err := corpus.Build(src, corpus.Options{
+			Tuple:   tuple.Options{MaxTuplesPerTree: scale.MaxTuples},
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		docs = stats.Docs
+		txns = len(c.Transactions)
+		secs += stats.Duration.Seconds()
+	}
+	if secs > 0 {
+		b.ReportMetric(float64(docs*b.N)/secs, "docs/s")
+	}
+	b.ReportMetric(float64(txns), "txns")
+}
+
+// BenchmarkIngest tracks streaming ingestion throughput on the serial path.
+func BenchmarkIngest(b *testing.B) { benchIngest(b, 1) }
+
+// BenchmarkIngestParallel tracks the parallel parse/extract path (one
+// worker per CPU); the resulting corpus is byte-identical to the serial one.
+func BenchmarkIngestParallel(b *testing.B) { benchIngest(b, 0) }

@@ -24,7 +24,7 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | all")
 		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma/workers)")
 		scaleFl = flag.String("scale", "quick", "profile: quick | paper")
-		workers = flag.Int("workers", 1, "intra-peer worker goroutines (0 = one per CPU); results are identical for any value")
+		workers = flag.Int("workers", 1, "intra-peer worker goroutines, also used as ingest workers for corpus preparation (0 = one per CPU); results are identical for any value")
 	)
 	flag.Parse()
 

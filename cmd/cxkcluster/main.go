@@ -1,21 +1,21 @@
-// Command cxkcluster clusters a directory of XML documents with CXK-means
+// Command cxkcluster clusters a collection of XML documents with CXK-means
 // and prints the per-document cluster assignment.
 //
 // Usage:
 //
-//	cxkcluster -k 8 [-f 0.5] [-gamma 0.7] [-peers 4] [-seed 1] [-tcp] dir-or-files...
+//	cxkcluster -k 8 [-f 0.5] [-gamma 0.7] [-peers 4] [-seed 1] [-tcp] sources...
 //
-// Each argument is either an XML file or a directory scanned (non-
-// recursively) for *.xml files.
+// Each argument is an XML file, a directory (walked recursively for *.xml)
+// or a tar/tar.gz archive of XML documents. Ingestion is streaming: the
+// pipeline holds O(-ingest-workers) parsed trees at any instant, so corpus
+// size is bounded by the transactional model, not by the XML.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 
 	"xmlclust"
 )
@@ -27,6 +27,7 @@ func main() {
 		gamma   = flag.Float64("gamma", 0.7, "γ-matching threshold")
 		peers   = flag.Int("peers", 1, "number of P2P nodes (1 = centralized)")
 		workers = flag.Int("workers", 0, "worker goroutines per peer (0 = one per CPU, 1 = serial); output is identical for any value")
+		ingestW = flag.Int("ingest-workers", 0, "parse/extract workers for ingestion (0 = one per CPU, 1 = serial); the corpus is identical for any value")
 		seed    = flag.Int64("seed", 1, "random seed")
 		tcp     = flag.Bool("tcp", false, "run peers over loopback TCP")
 		unequal = flag.Bool("unequal", false, "skewed data distribution (half the peers hold twice the data)")
@@ -37,13 +38,13 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() == 0 && *loadFm == "" {
-		fmt.Fprintln(os.Stderr, "usage: cxkcluster [flags] dir-or-files...")
+		fmt.Fprintln(os.Stderr, "usage: cxkcluster [flags] dir-or-file-or-archive...")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
 	var corpus *xmlclust.Corpus
-	var paths []string
+	var docNames []string
 	if *loadFm != "" {
 		f, err := os.Open(*loadFm)
 		if err != nil {
@@ -57,21 +58,27 @@ func main() {
 		fmt.Printf("loaded corpus: %d transactions, %d items, vocabulary %d\n",
 			len(corpus.Transactions), corpus.Items.Len(), corpus.Terms.Len())
 	} else {
+		srcs := make([]xmlclust.Source, 0, flag.NArg())
+		for _, a := range flag.Args() {
+			src, err := xmlclust.OpenSource(a)
+			if err != nil {
+				fatal(err)
+			}
+			srcs = append(srcs, namedSource{src, &docNames})
+		}
+		var stats xmlclust.IngestStats
 		var err error
-		paths, err = collectPaths(flag.Args())
+		corpus, stats, err = xmlclust.BuildCorpusFromSource(
+			xmlclust.MultiSource(srcs...),
+			xmlclust.CorpusOptions{MaxTuplesPerTree: *maxTup, IngestWorkers: *ingestW},
+		)
 		if err != nil {
 			fatal(err)
 		}
-		if len(paths) == 0 {
-			fatal(fmt.Errorf("no XML files found"))
+		if stats.Docs == 0 {
+			fatal(fmt.Errorf("no XML documents found in %v", flag.Args()))
 		}
-		trees, err := xmlclust.ParseFiles(paths)
-		if err != nil {
-			fatal(err)
-		}
-		corpus = xmlclust.BuildCorpus(trees, xmlclust.CorpusOptions{MaxTuplesPerTree: *maxTup})
-		fmt.Printf("parsed %d documents → %d transactions, %d items, vocabulary %d\n",
-			len(trees), len(corpus.Transactions), corpus.Items.Len(), corpus.Terms.Len())
+		fmt.Println(stats.String())
 	}
 	if *saveTo != "" {
 		f, err := os.Create(*saveTo)
@@ -105,8 +112,8 @@ func main() {
 	byCluster := map[int][]string{}
 	for doc, cl := range docCluster {
 		name := fmt.Sprintf("document %d", doc)
-		if doc < len(paths) {
-			name = paths[doc]
+		if doc < len(docNames) {
+			name = docNames[doc]
 		}
 		byCluster[cl] = append(byCluster[cl], name)
 	}
@@ -135,29 +142,20 @@ func main() {
 	}
 }
 
-func collectPaths(args []string) ([]string, error) {
-	var out []string
-	for _, a := range args {
-		info, err := os.Stat(a)
-		if err != nil {
-			return nil, err
-		}
-		if !info.IsDir() {
-			out = append(out, a)
-			continue
-		}
-		entries, err := os.ReadDir(a)
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range entries {
-			if !e.IsDir() && strings.HasSuffix(strings.ToLower(e.Name()), ".xml") {
-				out = append(out, filepath.Join(a, e.Name()))
-			}
-		}
+// namedSource records document names as they stream through, so the final
+// report can print file names instead of document ids. Names are recorded
+// in source order, which is the document-id order of the merge.
+type namedSource struct {
+	xmlclust.Source
+	names *[]string
+}
+
+func (s namedSource) Next() (*xmlclust.Document, error) {
+	d, err := s.Source.Next()
+	if err == nil {
+		*s.names = append(*s.names, d.Name)
 	}
-	sort.Strings(out)
-	return out, nil
+	return d, err
 }
 
 func fatal(err error) {

@@ -6,7 +6,7 @@
 //
 //	cxkpeer -id 0 -peers host0:9000,host1:9000,host2:9000 -corpus corpus.gob -k 8
 //
-// Every process must be started with the same -peers table, -corpus file
+// Every process must be started with the same -peers table, -corpus data
 // and clustering flags (-k -f -gamma -seed -maxrounds -unequal): the data
 // partition and per-peer seeds are derived deterministically from them, so
 // the process cluster reproduces the in-process engine byte-identically.
@@ -14,8 +14,12 @@
 // Peer 0 is the coordinator: it plays node N0 (startup broadcast), collects
 // every peer's final assignment and prints the corpus-wide result to stdout
 // as "transaction<TAB>cluster" lines (cluster −1 is the trash cluster).
-// The corpus file is the gob produced by `cxkcluster -save` (preprocess
-// once, ship the file to every peer).
+// -corpus accepts either the gob produced by `cxkcluster -save` (preprocess
+// once, ship the file to every peer) or raw data — a directory walked
+// recursively for *.xml, a tar/tar.gz archive, or a single XML file —
+// which every peer ingests through the streaming pipeline; identical input
+// yields identical corpora on every peer, so no separate preprocessing
+// step is required.
 package main
 
 import (
@@ -33,7 +37,9 @@ func main() {
 		id      = flag.Int("id", 0, "this peer's id in [0, #peers)")
 		peers   = flag.String("peers", "", "comma-separated peer address table, index = peer id (required)")
 		listen  = flag.String("listen", "", "local listen address (default: the -peers entry for -id)")
-		corpusF = flag.String("corpus", "", "preprocessed corpus file from `cxkcluster -save` (required)")
+		corpusF = flag.String("corpus", "", "corpus gob from `cxkcluster -save`, or a directory / tar[.gz] archive / XML file to ingest (required)")
+		maxTup  = flag.Int("maxtuples", 0, "cap on tree tuples per document when ingesting raw XML (0 = default; must match across peers)")
+		ingestW = flag.Int("ingest-workers", 0, "parse/extract workers when ingesting raw XML (0 = one per CPU); the corpus is identical for any value")
 		k       = flag.Int("k", 4, "number of clusters")
 		f       = flag.Float64("f", 0.5, "structure/content balance f ∈ [0,1]")
 		gamma   = flag.Float64("gamma", 0.7, "γ-matching threshold")
@@ -57,14 +63,14 @@ func main() {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
 
-	cf, err := os.Open(*corpusF)
+	corpus, stats, err := xmlclust.OpenCorpus(*corpusF, xmlclust.CorpusOptions{
+		MaxTuplesPerTree: *maxTup, IngestWorkers: *ingestW,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	corpus, err := xmlclust.LoadCorpus(cf)
-	cf.Close()
-	if err != nil {
-		fatal(err)
+	if stats.Docs > 0 && !*quiet {
+		fmt.Fprintf(os.Stderr, "cxkpeer %d: ingested %s\n", *id, stats.String())
 	}
 
 	res, err := xmlclust.ClusterDistributed(corpus, xmlclust.DistributedOptions{

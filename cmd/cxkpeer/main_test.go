@@ -16,29 +16,32 @@ import (
 	"xmlclust"
 )
 
-// e2eCorpus builds a small two-topic corpus and returns it plus the path of
+// e2eDocs is a small two-topic collection, separable at k=2.
+func e2eDocs() []string {
+	var docs []string
+	for i := 0; i < 6; i++ {
+		docs = append(docs, fmt.Sprintf(`<db><paper key="p%d">
+			<writer>alice cooper</writer>
+			<name>mining frequent patterns number%d</name>
+			<venue>KDD</venue>
+		</paper></db>`, i, i))
+	}
+	for i := 0; i < 6; i++ {
+		docs = append(docs, fmt.Sprintf(`<db><report key="r%d">
+			<editor>bob dylan</editor>
+			<heading>routing wireless networks number%d</heading>
+			<lab>NETLAB</lab>
+		</report></db>`, i, i))
+	}
+	return docs
+}
+
+// e2eCorpus builds the collection in memory and returns it plus the path of
 // its serialized form (the file every peer process loads).
 func e2eCorpus(t *testing.T, dir string) (*xmlclust.Corpus, string) {
 	t.Helper()
 	var trees []*xmlclust.Tree
-	for i := 0; i < 6; i++ {
-		doc := fmt.Sprintf(`<db><paper key="p%d">
-			<writer>alice cooper</writer>
-			<name>mining frequent patterns number%d</name>
-			<venue>KDD</venue>
-		</paper></db>`, i, i)
-		tree, err := xmlclust.ParseString(doc)
-		if err != nil {
-			t.Fatal(err)
-		}
-		trees = append(trees, tree)
-	}
-	for i := 0; i < 6; i++ {
-		doc := fmt.Sprintf(`<db><report key="r%d">
-			<editor>bob dylan</editor>
-			<heading>routing wireless networks number%d</heading>
-			<lab>NETLAB</lab>
-		</report></db>`, i, i)
+	for _, doc := range e2eDocs() {
 		tree, err := xmlclust.ParseString(doc)
 		if err != nil {
 			t.Fatal(err)
@@ -80,35 +83,26 @@ func reservePorts(t *testing.T, n int) []string {
 	return addrs
 }
 
-// TestE2EThreeProcessEquivalence is the acceptance check of the distributed
-// runtime: a 3-peer cluster running as 3 separate OS processes over real
-// loopback TCP must produce assignments identical to the in-process
-// ChanTransport engine for the same seed, k, f, γ.
-func TestE2EThreeProcessEquivalence(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-process e2e skipped in -short mode")
-	}
+// buildPeerBinary compiles cxkpeer into dir (skipping when no toolchain).
+func buildPeerBinary(t *testing.T, dir string) string {
+	t.Helper()
 	goBin, err := exec.LookPath("go")
 	if err != nil {
 		t.Skipf("go toolchain unavailable: %v", err)
 	}
-
-	dir := t.TempDir()
 	bin := filepath.Join(dir, "cxkpeer")
 	build := exec.Command(goBin, "build", "-o", bin, ".")
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building cxkpeer: %v\n%s", err, out)
 	}
+	return bin
+}
 
-	corpus, corpusPath := e2eCorpus(t, dir)
-	const k, seed = 2, 4
-	want, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
-		K: k, F: 0.5, Gamma: 0.7, Peers: 3, Seed: seed,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-
+// runThreeProcs launches a 3-peer cluster as 3 OS processes over loopback
+// with the given -corpus argument and returns the coordinator's corpus-wide
+// assignment.
+func runThreeProcs(t *testing.T, bin, corpusArg string, k int, seed int64) map[int]int {
+	t.Helper()
 	addrs := reservePorts(t, 3)
 	peers := strings.Join(addrs, ",")
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -122,7 +116,7 @@ func TestE2EThreeProcessEquivalence(t *testing.T) {
 		cmd := exec.CommandContext(ctx, bin,
 			"-id", fmt.Sprint(id),
 			"-peers", peers,
-			"-corpus", corpusPath,
+			"-corpus", corpusArg,
 			"-k", fmt.Sprint(k),
 			"-f", "0.5",
 			"-gamma", "0.7",
@@ -160,12 +154,79 @@ func TestE2EThreeProcessEquivalence(t *testing.T) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(want.Assign) {
-		t.Fatalf("coordinator reported %d assignments, want %d", len(got), len(want.Assign))
+	return got
+}
+
+func assertAssignEqual(t *testing.T, got map[int]int, want []int, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: coordinator reported %d assignments, want %d", label, len(got), len(want))
 	}
-	for i, a := range want.Assign {
+	for i, a := range want {
 		if got[i] != a {
-			t.Fatalf("assignment %d differs: 3-process run %d vs in-process %d", i, got[i], a)
+			t.Fatalf("%s: assignment %d differs: 3-process run %d vs in-process %d", label, i, got[i], a)
 		}
 	}
+}
+
+// TestE2EThreeProcessEquivalence is the acceptance check of the distributed
+// runtime: a 3-peer cluster running as 3 separate OS processes over real
+// loopback TCP must produce assignments identical to the in-process
+// ChanTransport engine for the same seed, k, f, γ.
+func TestE2EThreeProcessEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildPeerBinary(t, dir)
+	corpus, corpusPath := e2eCorpus(t, dir)
+	const k, seed = 2, 4
+	want, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+		K: k, F: 0.5, Gamma: 0.7, Peers: 3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runThreeProcs(t, bin, corpusPath, k, seed)
+	assertAssignEqual(t, got, want.Assign, "gob corpus")
+}
+
+// TestE2ERawDirectoryCorpus points every peer process at a raw XML
+// directory instead of a preprocessed gob: each peer ingests the directory
+// through the streaming pipeline independently, and because ingestion is
+// deterministic the cluster still reproduces the in-process assignments —
+// no separate preprocessing step required.
+func TestE2ERawDirectoryCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildPeerBinary(t, dir)
+
+	xmlDir := filepath.Join(dir, "docs")
+	if err := os.MkdirAll(xmlDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range e2eDocs() {
+		if err := os.WriteFile(filepath.Join(xmlDir, fmt.Sprintf("doc-%02d.xml", i)), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := xmlclust.DirSource(xmlDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, _, err := xmlclust.BuildCorpusFromSource(src, xmlclust.CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, seed = 2, 4
+	want, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+		K: k, F: 0.5, Gamma: 0.7, Peers: 3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runThreeProcs(t, bin, xmlDir, k, seed)
+	assertAssignEqual(t, got, want.Assign, "raw directory corpus")
 }

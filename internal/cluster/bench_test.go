@@ -31,7 +31,7 @@ func relocateFixture(b *testing.B, k int) (*sim.Context, []*txn.Transaction, []*
 		b.Fatal("DBLP generator missing")
 	}
 	col := gen(dataset.Spec{Docs: 64, Seed: 7})
-	corpus := col.BuildCorpus(dataset.ByHybrid, 32)
+	corpus := col.BuildCorpus(dataset.ByHybrid, 32, 1)
 	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.8})
 	rng := rand.New(rand.NewSource(11))
 	reps := SelectInitial(corpus.Transactions, k, rng)

@@ -448,7 +448,7 @@ func synthCorpus(t testing.TB, ds string, docs int) (*txn.Corpus, int) {
 		t.Fatalf("unknown dataset %q", ds)
 	}
 	col := gen(dataset.Spec{Docs: docs, Seed: 99})
-	corpus := col.BuildCorpus(dataset.ByHybrid, 24)
+	corpus := col.BuildCorpus(dataset.ByHybrid, 24, 1)
 	return corpus, col.K(dataset.ByHybrid)
 }
 

@@ -310,7 +310,6 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
 	return res, nil
 }
 
-
 // startMsgFrom builds node N0's StartMsg for a run configuration.
 func startMsgFrom(cx *sim.Context, corpus *txn.Corpus, opts Options) StartMsg {
 	return StartMsg{

@@ -530,7 +530,7 @@ func TestRunWorkersEquivalence(t *testing.T) {
 			t.Fatalf("unknown dataset %q", ds.name)
 		}
 		col := gen(dataset.Spec{Docs: ds.docs, Seed: 99})
-		cases = append(cases, corpusCase{ds.name, col.BuildCorpus(dataset.ByHybrid, 24), col.K(dataset.ByHybrid)})
+		cases = append(cases, corpusCase{ds.name, col.BuildCorpus(dataset.ByHybrid, 24, 1), col.K(dataset.ByHybrid)})
 	}
 	for _, c := range cases {
 		cx := sim.NewContext(c.corpus, sim.Params{F: 0.5, Gamma: 0.7})

@@ -1,0 +1,159 @@
+package corpus
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xmlclust/internal/parallel"
+	"xmlclust/internal/tuple"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/weighting"
+	"xmlclust/internal/xmltree"
+)
+
+// Options configures a streaming corpus build.
+type Options struct {
+	// Tuple bounds tree tuple extraction per document.
+	Tuple tuple.Options
+	// Parse maps raw XML onto the tree model; nil selects
+	// xmltree.DefaultParseOptions(). Ignored for pre-parsed Tree documents.
+	Parse *xmltree.ParseOptions
+	// Labels optionally assigns ground-truth classes by document index
+	// (source order). A label the source itself carries (Document.Label ≥ 0,
+	// e.g. from a Trees source) takes precedence; −1 falls back to this
+	// slice, then to −1.
+	Labels []int
+	// Workers is the number of parse/extract workers (0 or negative = one
+	// per CPU, 1 = serial). The corpus is byte-identical for any value —
+	// workers only parse and extract; interning and weighting are
+	// serialized through an index-ordered merge.
+	Workers int
+	// Window bounds how many documents may be in flight between the source
+	// and the merge (0 = 2×workers). Peak resident parsed trees are
+	// O(Window), independent of corpus size.
+	Window int
+}
+
+// Stats describes one streaming ingestion run.
+type Stats struct {
+	// Docs is the number of documents ingested.
+	Docs int
+	// Transactions, Items and Terms are the sizes of the resulting corpus.
+	Transactions int
+	Items        int
+	Terms        int
+	// TruncatedDocs counts documents whose tuple enumeration hit the cap.
+	TruncatedDocs int
+	// PeakQueuedTrees is the high-water mark of parsed documents that sat
+	// completed in the reorder buffer waiting for an earlier document to
+	// merge — bounded by Options.Window, never by the corpus size.
+	PeakQueuedTrees int
+	// Workers echoes the resolved worker count.
+	Workers int
+	// Duration is the wall time of the ingest.
+	Duration time.Duration
+}
+
+// DocsPerSec returns the ingestion throughput.
+func (s Stats) DocsPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Docs) / s.Duration.Seconds()
+}
+
+// String renders a one-line summary for CLI output.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d documents → %d transactions, %d items, vocabulary %d (%.0f docs/s, %d workers, peak %d queued, %d truncated)",
+		s.Docs, s.Transactions, s.Items, s.Terms, s.DocsPerSec(), s.Workers, s.PeakQueuedTrees, s.TruncatedDocs)
+}
+
+// parsed is one document after the worker stage: the tree plus its
+// extracted tuples, ready for the order-sensitive merge.
+type parsed struct {
+	tree  *xmltree.Tree
+	res   tuple.Result
+	label int
+}
+
+// Build streams every document of src through the full preprocessing
+// pipeline — parse, tuple extraction, interning, transaction construction,
+// ttf.itf weighting — holding at most O(Workers) parsed trees at any
+// instant. Parsing and extraction fan out over Options.Workers goroutines;
+// an index-ordered merge serializes interning and the per-document
+// weighting fold, so the resulting corpus is byte-identical to the batch
+// txn.Build + weighting.Apply path (and to itself) for any worker count.
+// The source is drained and closed on return, success or not.
+func Build(src Source, opts Options) (*txn.Corpus, Stats, error) {
+	defer src.Close()
+	parseOpts := xmltree.DefaultParseOptions()
+	if opts.Parse != nil {
+		parseOpts = *opts.Parse
+	}
+	b := txn.NewBuilder(txn.BuildOptions{Tuple: opts.Tuple})
+	acc := weighting.NewAccumulator(b.Corpus())
+	b.Observe(acc)
+
+	workers := parallel.Resolve(opts.Workers)
+	window := opts.Window
+	if window <= 0 {
+		window = 2 * workers
+	}
+	start := time.Now()
+	peak, err := parallel.OrderedStream(workers, window,
+		func() (*Document, bool, error) {
+			d, err := src.Next()
+			if err == io.EOF {
+				return nil, false, nil
+			}
+			if err != nil {
+				return nil, false, err
+			}
+			if d == nil {
+				return nil, false, fmt.Errorf("corpus: source yielded a nil document")
+			}
+			return d, true, nil
+		},
+		func(i int, d *Document) (parsed, error) {
+			t := d.Tree
+			if t == nil {
+				rc, err := d.Open()
+				if err != nil {
+					return parsed{}, fmt.Errorf("corpus: %s: %w", d.Name, err)
+				}
+				t, err = xmltree.Parse(rc, parseOpts)
+				rc.Close()
+				if err != nil {
+					return parsed{}, fmt.Errorf("corpus: %s: %w", d.Name, err)
+				}
+				t.Name = d.Name
+			}
+			return parsed{tree: t, res: tuple.Extract(t, opts.Tuple), label: d.Label}, nil
+		},
+		func(i int, p parsed) error {
+			label := p.label
+			if label < 0 && i < len(opts.Labels) {
+				label = opts.Labels[i]
+			}
+			b.AddExtracted(p.tree, p.res, label)
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	c := b.Finish()
+	wstats := acc.Finalize()
+	stats := Stats{
+		Docs:            b.Docs(),
+		Transactions:    len(c.Transactions),
+		Items:           c.Items.Len(),
+		Terms:           wstats.Vocabulary,
+		TruncatedDocs:   c.TruncatedDocs,
+		PeakQueuedTrees: peak,
+		Workers:         workers,
+		Duration:        time.Since(start),
+	}
+	return c, stats, nil
+}

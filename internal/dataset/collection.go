@@ -3,9 +3,9 @@ package dataset
 import (
 	"fmt"
 
+	"xmlclust/internal/corpus"
 	"xmlclust/internal/tuple"
 	"xmlclust/internal/txn"
-	"xmlclust/internal/weighting"
 	"xmlclust/internal/xmltree"
 )
 
@@ -81,16 +81,28 @@ func (s Spec) docsOr(def int) int {
 	return def
 }
 
-// BuildCorpus turns a collection into a weighted transactional corpus whose
-// transactions carry the labels of the requested classification.
-func (c *Collection) BuildCorpus(kind ClassKind, maxTuples int) *txn.Corpus {
+// Source adapts the collection to the streaming ingestion pipeline: an
+// in-process corpus.Source yielding the generated trees one at a time with
+// the labels of the requested classification.
+func (c *Collection) Source(kind ClassKind) corpus.Source {
 	labels, _ := c.Labels(kind)
-	corpus := txn.Build(c.Trees, txn.BuildOptions{
-		Tuple:  tuple.Options{MaxTuplesPerTree: maxTuples},
-		Labels: labels,
+	return corpus.Trees(c.Name, c.Trees, labels)
+}
+
+// BuildCorpus turns a collection into a weighted transactional corpus whose
+// transactions carry the labels of the requested classification. It runs
+// the streaming ingestion pipeline with the given worker count; the result
+// is byte-identical for any value (workers ≤ 1 is serial).
+func (c *Collection) BuildCorpus(kind ClassKind, maxTuples, workers int) *txn.Corpus {
+	cp, _, err := corpus.Build(c.Source(kind), corpus.Options{
+		Tuple:   tuple.Options{MaxTuplesPerTree: maxTuples},
+		Workers: workers,
 	})
-	weighting.Apply(corpus)
-	return corpus
+	if err != nil {
+		// Tree sources neither parse nor touch I/O; Build cannot fail on them.
+		panic(fmt.Sprintf("dataset: corpus build: %v", err))
+	}
+	return cp
 }
 
 // TransactionLabels extracts the per-transaction ground truth from a corpus

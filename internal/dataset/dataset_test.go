@@ -179,7 +179,7 @@ func TestIEEEManyTuplesPerDoc(t *testing.T) {
 
 func TestBuildCorpusLabelsAndVectors(t *testing.T) {
 	c := DBLP(Spec{Docs: 16, Seed: 7})
-	corpus := c.BuildCorpus(ByHybrid, 32)
+	corpus := c.BuildCorpus(ByHybrid, 32, 1)
 	if len(corpus.Transactions) == 0 {
 		t.Fatal("no transactions")
 	}

@@ -64,7 +64,7 @@ func ReturnRuleAblation(ds string, kind dataset.ClassKind, scale Scale, seed int
 			Dataset: ds, Kind: kind, F: f, Gamma: BestGamma(ds, kind), Peers: 1,
 			Workers: scale.Workers,
 			Docs:    scale.Docs[ds], MaxTuples: scale.MaxTuples, Seed: seed,
-			Rule:    rules[i].Rule,
+			Rule: rules[i].Rule,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rule ablation %s: %w", rules[i].Label, err)

@@ -119,7 +119,7 @@ func prepare(spec RunSpec) (*preparedCorpus, error) {
 		return pc, nil
 	}
 	col := gen(dataset.Spec{Docs: spec.Docs, Seed: DataSeed})
-	corpus := col.BuildCorpus(spec.Kind, spec.MaxTuples)
+	corpus := col.BuildCorpus(spec.Kind, spec.MaxTuples, spec.Workers)
 	pc := &preparedCorpus{
 		corpus: corpus,
 		labels: dataset.TransactionLabels(corpus),

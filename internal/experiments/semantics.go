@@ -27,7 +27,7 @@ type SemanticsPoint struct {
 // two; the semantic matchers restore the cross-dialect matches.
 func SemanticsAblation(scale Scale, seed int64) ([]SemanticsPoint, error) {
 	col := dataset.DBLPHeterogeneous(dataset.Spec{Docs: scale.Docs["DBLP"], Seed: DataSeed})
-	corpus := col.BuildCorpus(dataset.ByStructure, scale.MaxTuples)
+	corpus := col.BuildCorpus(dataset.ByStructure, scale.MaxTuples, scale.Workers)
 	labels := dataset.TransactionLabels(corpus)
 	k := col.K(dataset.ByStructure)
 

@@ -1,0 +1,154 @@
+package parallel
+
+import "sync"
+
+// OrderedStream pulls items from next, maps each through fn on a pool of
+// workers, and delivers the results to emit strictly in input order — the
+// fan-out/fan-in primitive behind the streaming ingest pipeline.
+//
+// next is called only from one goroutine (sources need no locking) and
+// reports exhaustion by returning ok == false. fn runs concurrently and must
+// not touch shared state; emit runs serially on the caller's goroutine in
+// ascending index order, so order-sensitive work (interning, appending)
+// belongs there. Because the emit order is the input order regardless of the
+// worker count or schedule, a pipeline built on OrderedStream produces
+// byte-identical output for any number of workers.
+//
+// At most window items are in flight between next and emit (window < workers
+// is raised to workers; the serial path holds one). The first error from
+// next, fn or emit cancels the stream and is returned after all goroutines
+// have drained. The returned peak is the high-water mark of results that sat
+// completed waiting for an earlier index to emit — the reorder-buffer bound
+// callers surface as "peak queued" in ingest stats.
+func OrderedStream[T, R any](workers, window int,
+	next func() (T, bool, error),
+	fn func(i int, item T) (R, error),
+	emit func(i int, r R) error,
+) (peak int, err error) {
+	workers = Resolve(workers)
+	if workers <= 1 {
+		for i := 0; ; i++ {
+			item, ok, err := next()
+			if err != nil {
+				return peak, err
+			}
+			if !ok {
+				return peak, nil
+			}
+			if peak < 1 {
+				peak = 1
+			}
+			r, err := fn(i, item)
+			if err != nil {
+				return peak, err
+			}
+			if err := emit(i, r); err != nil {
+				return peak, err
+			}
+		}
+	}
+	if window < workers {
+		window = workers
+	}
+
+	type job struct {
+		i int
+		v T
+	}
+	type res struct {
+		i   int
+		v   R
+		err error
+	}
+	jobs := make(chan job)
+	// results is buffered to the full window so workers never block on a
+	// stalled merger: everything in flight fits in the buffer.
+	results := make(chan res, window)
+	stop := make(chan struct{})
+	sem := make(chan struct{}, window)
+
+	var prodErr error
+	var prodWG, workWG sync.WaitGroup
+	prodWG.Add(1)
+	go func() { // producer: the only caller of next
+		defer prodWG.Done()
+		defer close(jobs)
+		for i := 0; ; i++ {
+			select {
+			case sem <- struct{}{}:
+			case <-stop:
+				return
+			}
+			item, ok, err := next()
+			if err != nil {
+				prodErr = err
+				return
+			}
+			if !ok {
+				return
+			}
+			select {
+			case jobs <- job{i, item}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	workWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer workWG.Done()
+			for j := range jobs {
+				r, err := fn(j.i, j.v)
+				select {
+				case results <- res{j.i, r, err}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() { workWG.Wait(); close(results) }()
+
+	// Merger: reorder completed results and emit in index order.
+	pending := make(map[int]R)
+	nextIdx := 0
+	var firstErr error
+	fail := func(e error) {
+		if firstErr == nil {
+			firstErr = e
+			close(stop)
+		}
+	}
+	for r := range results {
+		if firstErr != nil {
+			continue // drain so workers and producer can exit
+		}
+		if r.err != nil {
+			fail(r.err)
+			continue
+		}
+		pending[r.i] = r.v
+		if len(pending) > peak {
+			peak = len(pending)
+		}
+		for {
+			v, ok := pending[nextIdx]
+			if !ok {
+				break
+			}
+			delete(pending, nextIdx)
+			if err := emit(nextIdx, v); err != nil {
+				fail(err)
+				break
+			}
+			<-sem
+			nextIdx++
+		}
+	}
+	prodWG.Wait()
+	if firstErr == nil {
+		firstErr = prodErr
+	}
+	return peak, firstErr
+}

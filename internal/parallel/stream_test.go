@@ -1,0 +1,198 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// streamSquares runs OrderedStream over 0..n-1 with fn(i) = i*i and
+// returns the emitted values in emit order.
+func streamSquares(t *testing.T, workers, window, n int, delay bool) ([]int, int) {
+	t.Helper()
+	next := 0
+	var got []int
+	peak, err := OrderedStream(workers, window,
+		func() (int, bool, error) {
+			if next >= n {
+				return 0, false, nil
+			}
+			v := next
+			next++
+			return v, true, nil
+		},
+		func(i, item int) (int, error) {
+			if delay {
+				// Jitter derived from the index (fn runs concurrently, so no
+				// shared rng): late indexes sometimes finish first.
+				time.Sleep(time.Duration((item*7)%3) * time.Millisecond)
+			}
+			return item * item, nil
+		},
+		func(i, r int) error {
+			got = append(got, r)
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatalf("OrderedStream: %v", err)
+	}
+	return got, peak
+}
+
+func TestOrderedStreamOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		got, _ := streamSquares(t, workers, 0, 100, workers > 1)
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: emitted %d of 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: emit[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestOrderedStreamEmpty(t *testing.T) {
+	got, peak := streamSquares(t, 4, 0, 0, false)
+	if len(got) != 0 || peak != 0 {
+		t.Fatalf("empty stream: emitted %d, peak %d", len(got), peak)
+	}
+}
+
+func TestOrderedStreamBoundedInFlight(t *testing.T) {
+	const workers, window, n = 4, 8, 200
+	var inFlight, maxInFlight atomic.Int64
+	next := 0
+	_, err := OrderedStream(workers, window,
+		func() (int, bool, error) {
+			if next >= n {
+				return 0, false, nil
+			}
+			v := next
+			next++
+			cur := inFlight.Add(1)
+			for {
+				old := maxInFlight.Load()
+				if cur <= old || maxInFlight.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			return v, true, nil
+		},
+		func(i, item int) (int, error) { return item, nil },
+		func(i, r int) error {
+			inFlight.Add(-1)
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The producer acquires a window slot before reading an item, so no
+	// more than window items can sit between next and emit.
+	if got := maxInFlight.Load(); got > window {
+		t.Fatalf("max in flight %d exceeds window %d", got, window)
+	}
+}
+
+func TestOrderedStreamErrors(t *testing.T) {
+	boom := errors.New("boom")
+	mk := func() (func() (int, bool, error), func(int, int) (int, error), func(int, int) error) {
+		next := 0
+		return func() (int, bool, error) {
+				if next >= 50 {
+					return 0, false, nil
+				}
+				v := next
+				next++
+				return v, true, nil
+			},
+			func(i, item int) (int, error) { return item, nil },
+			func(i, r int) error { return nil }
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("next-error-w%d", workers), func(t *testing.T) {
+			_, fn, emit := mk()
+			n := 0
+			_, err := OrderedStream(workers, 0, func() (int, bool, error) {
+				if n == 10 {
+					return 0, false, boom
+				}
+				n++
+				return n, true, nil
+			}, fn, emit)
+			if !errors.Is(err, boom) {
+				t.Fatalf("want boom, got %v", err)
+			}
+		})
+		t.Run(fmt.Sprintf("fn-error-w%d", workers), func(t *testing.T) {
+			next, _, emit := mk()
+			_, err := OrderedStream(workers, 0, next, func(i, item int) (int, error) {
+				if item == 17 {
+					return 0, boom
+				}
+				return item, nil
+			}, emit)
+			if !errors.Is(err, boom) {
+				t.Fatalf("want boom, got %v", err)
+			}
+		})
+		t.Run(fmt.Sprintf("emit-error-w%d", workers), func(t *testing.T) {
+			next, fn, _ := mk()
+			emitted := 0
+			_, err := OrderedStream(workers, 0, next, fn, func(i, r int) error {
+				if i == 13 {
+					return boom
+				}
+				emitted++
+				return nil
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("want boom, got %v", err)
+			}
+			if emitted != 13 {
+				t.Fatalf("emitted %d before error, want 13", emitted)
+			}
+		})
+	}
+}
+
+func TestOrderedStreamPeakReflectsReordering(t *testing.T) {
+	// Make item 0 the slowest: later items pile up in the reorder buffer.
+	var release = make(chan struct{})
+	next := 0
+	peak, err := OrderedStream(4, 8,
+		func() (int, bool, error) {
+			if next >= 20 {
+				return 0, false, nil
+			}
+			v := next
+			next++
+			return v, true, nil
+		},
+		func(i, item int) (int, error) {
+			if item == 0 {
+				<-release
+			} else if item == 7 {
+				// Everything except item 0 has had a chance to finish.
+				time.Sleep(20 * time.Millisecond)
+				close(release)
+			}
+			return item, nil
+		},
+		func(i, r int) error { return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak < 2 {
+		t.Fatalf("peak %d: expected reordering to queue results behind item 0", peak)
+	}
+	if peak > 8 {
+		t.Fatalf("peak %d exceeds window 8", peak)
+	}
+}

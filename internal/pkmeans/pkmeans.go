@@ -47,13 +47,13 @@ func init() { p2p.RegisterWireType(RepsMsg{}) }
 // Options configures a PK-means run. The fields mirror core.Options so
 // that the Fig. 8 comparison feeds both algorithms identically.
 type Options struct {
-	K                int
-	Params           sim.Params
-	Peers            int
-	Partition        [][]int
-	MaxRounds        int
-	Seed             int64
-	Rule             cluster.ReturnRule
+	K         int
+	Params    sim.Params
+	Peers     int
+	Partition [][]int
+	MaxRounds int
+	Seed      int64
+	Rule      cluster.ReturnRule
 	// Workers bounds each peer's intra-peer parallelism (see core.Options).
 	Workers          int
 	Transport        p2p.Transport

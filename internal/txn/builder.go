@@ -1,0 +1,116 @@
+package txn
+
+import (
+	"xmlclust/internal/tuple"
+	"xmlclust/internal/xmltree"
+)
+
+// DocSink observes each completed document during incremental corpus
+// building: doc is the document id and trs the transactions extracted from
+// it (a sub-slice of Corpus.Transactions; read-only). It is the hook the
+// ttf.itf accumulator attaches to, so per-document term counts can be
+// folded away while the tree is still the only document in memory — without
+// a txn→weighting dependency.
+type DocSink interface {
+	ObserveDoc(doc int, trs []*Transaction)
+}
+
+// Builder constructs a transactional corpus incrementally: Add one parsed
+// tree at a time, Finish once. Unlike the batch Build entry point, the
+// builder never retains the trees it is fed — each tree is released to the
+// garbage collector as soon as its tuples are extracted and interned — so
+// corpus size is bounded by the transactional model, not by the XML.
+// Documents are numbered in Add order, which fully determines the interning
+// tables: feeding the same trees in the same order yields a corpus
+// byte-identical to Build's, however the trees were produced.
+//
+// A Builder is not safe for concurrent use; parallel ingestion serializes
+// Add calls through an index-ordered merge (see internal/corpus).
+type Builder struct {
+	opts  BuildOptions
+	c     *Corpus
+	sinks []DocSink
+	docs  int
+	done  bool
+}
+
+// NewBuilder creates an empty corpus builder.
+func NewBuilder(opts BuildOptions) *Builder {
+	paths := xmltree.NewPathTable()
+	return &Builder{
+		opts: opts,
+		c: &Corpus{
+			Paths: paths,
+			Items: NewItemTable(paths),
+			Terms: NewTermTable(),
+		},
+	}
+}
+
+// Corpus exposes the corpus under construction. The interning tables are
+// valid from the start (observers need them); Transactions grows with Add.
+func (b *Builder) Corpus() *Corpus { return b.c }
+
+// Observe registers a sink notified after each document's transactions are
+// appended. Sinks run on the Add goroutine, in document order.
+func (b *Builder) Observe(s DocSink) { b.sinks = append(b.sinks, s) }
+
+// Docs returns the number of documents added so far.
+func (b *Builder) Docs() int { return b.docs }
+
+// Add extracts the tree tuples of t and appends its transactions. The
+// document's label comes from BuildOptions.Labels when the slice covers its
+// id, else −1.
+func (b *Builder) Add(t *xmltree.Tree) {
+	b.AddLabeled(t, b.labelFor(b.docs))
+}
+
+// AddLabeled is Add with an explicit ground-truth label (−1 = unknown).
+func (b *Builder) AddLabeled(t *xmltree.Tree, label int) {
+	b.AddExtracted(t, tuple.Extract(t, b.opts.Tuple), label)
+}
+
+// AddExtracted appends a document whose tuple extraction already ran —
+// the entry point of the parallel ingest pipeline, where extraction happens
+// on worker goroutines and only the order-sensitive interning is serialized
+// here. res must be tuple.Extract(t, opts.Tuple) for the builder's options.
+func (b *Builder) AddExtracted(t *xmltree.Tree, res tuple.Result, label int) {
+	if b.done {
+		panic("txn: Builder.Add after Finish")
+	}
+	docID := b.docs
+	b.docs++
+	t.DocID = docID
+	if d := t.Depth(); d > b.c.MaxDepth {
+		b.c.MaxDepth = d
+	}
+	if res.Truncated {
+		b.c.TruncatedDocs++
+	}
+	start := len(b.c.Transactions)
+	for _, tt := range res.Tuples {
+		ids := make([]ItemID, 0, len(tt.Leaves))
+		for _, lf := range tt.Leaves {
+			pid := b.c.Paths.Intern(lf.Path)
+			ids = append(ids, b.c.Items.Intern(pid, lf.Node.Value))
+		}
+		b.c.Transactions = append(b.c.Transactions, NewTransaction(ids, docID, tt.Index, label))
+	}
+	for _, s := range b.sinks {
+		s.ObserveDoc(docID, b.c.Transactions[start:])
+	}
+}
+
+// Finish seals the builder and returns the corpus. Vectors are zero until a
+// weighting finalize pass runs (weighting.Accumulator or weighting.Apply).
+func (b *Builder) Finish() *Corpus {
+	b.done = true
+	return b.c
+}
+
+func (b *Builder) labelFor(docID int) int {
+	if docID < len(b.opts.Labels) {
+		return b.opts.Labels[docID]
+	}
+	return -1
+}

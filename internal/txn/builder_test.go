@@ -1,0 +1,157 @@
+package txn
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"xmlclust/internal/tuple"
+	"xmlclust/internal/xmltree"
+)
+
+func builderTestTrees(t *testing.T, n int) []*xmltree.Tree {
+	t.Helper()
+	trees := make([]*xmltree.Tree, n)
+	for i := range trees {
+		doc := fmt.Sprintf(
+			`<doc id="%d"><title>title %d</title><a>alpha %d</a><a>beta</a><nested><deep>leaf %d</deep></nested></doc>`,
+			i, i, i%3, i)
+		tree, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[i] = tree
+	}
+	return trees
+}
+
+func corpusFingerprint(t *testing.T, c *Corpus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBuilderMatchesBatchBuild(t *testing.T) {
+	opts := BuildOptions{
+		Tuple:  tuple.Options{MaxTuplesPerTree: 8},
+		Labels: []int{2, 0, 1}, // shorter than the corpus: tail docs → −1
+	}
+	mk := func() []*xmltree.Tree { return builderTestTrees(t, 5) }
+
+	batch := Build(mk(), opts)
+	b := NewBuilder(opts)
+	for _, tree := range mk() {
+		b.Add(tree)
+	}
+	incremental := b.Finish()
+
+	if !bytes.Equal(corpusFingerprint(t, batch), corpusFingerprint(t, incremental)) {
+		t.Fatal("incremental builder corpus differs from batch Build")
+	}
+	if b.Docs() != 5 {
+		t.Fatalf("Docs() = %d, want 5", b.Docs())
+	}
+	for i, tr := range incremental.Transactions {
+		want := -1
+		if tr.Doc < len(opts.Labels) {
+			want = opts.Labels[tr.Doc]
+		}
+		if tr.Label != want {
+			t.Fatalf("transaction %d (doc %d) label %d, want %d", i, tr.Doc, tr.Label, want)
+		}
+	}
+}
+
+func TestBuilderAddLabeledOverrides(t *testing.T) {
+	trees := builderTestTrees(t, 2)
+	b := NewBuilder(BuildOptions{})
+	b.AddLabeled(trees[0], 7)
+	b.AddLabeled(trees[1], -1)
+	c := b.Finish()
+	for _, tr := range c.Transactions {
+		want := 7
+		if tr.Doc == 1 {
+			want = -1
+		}
+		if tr.Label != want {
+			t.Fatalf("doc %d label %d, want %d", tr.Doc, tr.Label, want)
+		}
+	}
+}
+
+// recordingSink verifies the observer contract: called once per document,
+// in order, with exactly that document's transactions.
+type recordingSink struct {
+	docs []int
+	txns []int
+}
+
+func (r *recordingSink) ObserveDoc(doc int, trs []*Transaction) {
+	r.docs = append(r.docs, doc)
+	r.txns = append(r.txns, len(trs))
+	for _, tr := range trs {
+		if tr.Doc != doc {
+			panic(fmt.Sprintf("sink got transaction of doc %d in doc %d's batch", tr.Doc, doc))
+		}
+	}
+}
+
+func TestBuilderObserveDocOrder(t *testing.T) {
+	trees := builderTestTrees(t, 4)
+	sink := &recordingSink{}
+	b := NewBuilder(BuildOptions{Tuple: tuple.Options{MaxTuplesPerTree: 8}})
+	b.Observe(sink)
+	for _, tree := range trees {
+		b.Add(tree)
+	}
+	c := b.Finish()
+	if len(sink.docs) != 4 {
+		t.Fatalf("sink saw %d documents, want 4", len(sink.docs))
+	}
+	total := 0
+	for i, d := range sink.docs {
+		if d != i {
+			t.Fatalf("sink docs out of order: %v", sink.docs)
+		}
+		total += sink.txns[i]
+	}
+	if total != len(c.Transactions) {
+		t.Fatalf("sink saw %d transactions, corpus has %d", total, len(c.Transactions))
+	}
+}
+
+func TestBuilderTruncationAndDepth(t *testing.T) {
+	// Many same-label siblings force tuple truncation at a tiny cap.
+	wide := "<r>"
+	for i := 0; i < 6; i++ {
+		wide += fmt.Sprintf("<x><y>a%d</y></x>", i)
+	}
+	wide += "</r>"
+	tree, err := xmltree.ParseString(wide, xmltree.DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(BuildOptions{Tuple: tuple.Options{MaxTuplesPerTree: 2}})
+	b.Add(tree)
+	c := b.Finish()
+	if c.TruncatedDocs != 1 {
+		t.Fatalf("TruncatedDocs = %d, want 1", c.TruncatedDocs)
+	}
+	if c.MaxDepth != tree.Depth() {
+		t.Fatalf("MaxDepth = %d, want %d", c.MaxDepth, tree.Depth())
+	}
+}
+
+func TestBuilderAddAfterFinishPanics(t *testing.T) {
+	b := NewBuilder(BuildOptions{})
+	b.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Finish should panic")
+		}
+	}()
+	b.Add(builderTestTrees(t, 1)[0])
+}

@@ -105,6 +105,11 @@ func Load(r io.Reader) (*Corpus, error) {
 		}
 		var id ItemID
 		if wi.Synthetic {
+			for _, cid := range wi.Constituents {
+				if cid < 0 || int(cid) >= i {
+					return nil, fmt.Errorf("txn: synthetic item %d references unknown constituent %d", i, cid)
+				}
+			}
 			id = items.InternSynthetic(xmltree.PathID(wi.Path), wi.Answer, vector.FromEntries(wi.Vector), wi.Constituents)
 		} else {
 			id = items.Intern(xmltree.PathID(wi.Path), wi.Answer)

@@ -2,6 +2,7 @@ package txn
 
 import (
 	"bytes"
+	"encoding/gob"
 	"strings"
 	"testing"
 
@@ -99,6 +100,103 @@ func TestLoadWrongFormat(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()/2]
 	if _, err := Load(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated stream should fail")
+	}
+}
+
+func TestLoadFutureFormat(t *testing.T) {
+	// A corpus written by a future release bumps persistFormat; today's
+	// reader must reject it with a readable error, not a gob panic or a
+	// silent misread. gob tolerates unknown fields, so the envelope decodes
+	// and the Format check is what must fire.
+	wc := wireCorpus{Format: persistFormat + 41, Paths: []string{"a.S"}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wc); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("future persistFormat must not load")
+	}
+	if !strings.Contains(err.Error(), "unsupported corpus format") {
+		t.Fatalf("unhelpful error for future format: %v", err)
+	}
+}
+
+func TestLoadRejectsDanglingConstituents(t *testing.T) {
+	c := buildPaperCorpus(t)
+	it0 := c.Items.Get(0)
+	c.Items.InternSynthetic(it0.Path, MergedAnswerKey([]string{"x", "y"}),
+		vector.FromMap(map[int32]float64{0: 1}), []ItemID{0, 1})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var wc wireCorpus
+	if err := gob.NewDecoder(&buf).Decode(&wc); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the synthetic item's decomposition to a forward reference.
+	syn := len(wc.Items) - 1
+	if !wc.Items[syn].Synthetic {
+		t.Fatal("expected last item to be the synthetic one")
+	}
+	wc.Items[syn].Constituents = []ItemID{ItemID(len(wc.Items) + 5)}
+	var corrupted bytes.Buffer
+	if err := gob.NewEncoder(&corrupted).Encode(wc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&corrupted); err == nil {
+		t.Fatal("dangling synthetic constituent must not load")
+	} else if !strings.Contains(err.Error(), "constituent") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestPersistRoundtripWeightedSyntheticCorpus(t *testing.T) {
+	// Full-pipeline round trip: weighted vectors plus several synthetic
+	// conflations, including a re-conflation that merges a synthetic item's
+	// constituents with a fresh raw item — the shape representatives take
+	// after a few collaborative rounds.
+	c := buildPaperCorpus(t)
+	for i := 0; i < c.Items.Len(); i++ {
+		// Stand-in weighted vectors (package txn cannot import weighting).
+		c.Items.SetVector(ItemID(i), vector.FromMap(map[int32]float64{int32(i): 1.5, int32(i + 1): 0.25}))
+	}
+	it0, it1, it2 := c.Items.Get(0), c.Items.Get(1), c.Items.Get(2)
+	syn1 := c.Items.InternSynthetic(it0.Path,
+		MergedAnswerKey([]string{it0.Answer, it1.Answer}),
+		vector.Scale(vector.Add(it0.Vector, it1.Vector), 0.5),
+		[]ItemID{it0.ID, it1.ID})
+	syn2 := c.Items.InternSynthetic(it0.Path,
+		MergedAnswerKey([]string{it0.Answer, it1.Answer, it2.Answer}),
+		vector.Scale(vector.Add(c.Items.Get(syn1).Vector, it2.Vector), 0.5),
+		append(append([]ItemID(nil), c.Items.Get(syn1).Constituents...), it2.ID))
+
+	back := roundtrip(t, c)
+	for _, id := range []ItemID{syn1, syn2} {
+		a, b := c.Items.Get(id), back.Items.Get(id)
+		if !b.Synthetic {
+			t.Fatalf("item %d lost Synthetic flag", id)
+		}
+		if a.Answer != b.Answer {
+			t.Fatalf("item %d answer %q != %q", id, a.Answer, b.Answer)
+		}
+		if len(a.Constituents) != len(b.Constituents) {
+			t.Fatalf("item %d constituents %v != %v", id, a.Constituents, b.Constituents)
+		}
+		for i := range a.Constituents {
+			if a.Constituents[i] != b.Constituents[i] {
+				t.Fatalf("item %d constituents %v != %v", id, a.Constituents, b.Constituents)
+			}
+		}
+		if !vector.Equal(a.Vector, b.Vector) {
+			t.Fatalf("item %d vector differs after roundtrip", id)
+		}
+	}
+	// The restored table re-conflates to the same id (interning identity).
+	s := back.Items.Get(syn1)
+	if got := back.Items.InternSynthetic(s.Path, s.Answer, s.Vector, s.Constituents); got != syn1 {
+		t.Fatalf("re-conflation interned %d, want %d", got, syn1)
 	}
 }
 

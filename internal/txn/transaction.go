@@ -95,8 +95,6 @@ type Corpus struct {
 	Terms *TermTable
 	// Transactions is the set S of XML transactions for the collection.
 	Transactions []*Transaction
-	// Trees are the source documents (indexed by DocID).
-	Trees []*xmltree.Tree
 	// TruncatedDocs counts documents whose tuple enumeration hit the cap.
 	TruncatedDocs int
 	// MaxDepth is the maximum tree depth over the collection.
@@ -113,39 +111,15 @@ type BuildOptions struct {
 
 // Build parses nothing: it takes already-parsed trees, extracts tree tuples
 // and constructs the transactional corpus. Vectors are zero until
-// weighting.Apply is run.
+// weighting.Apply is run. Build is the batch driver over Builder; streaming
+// callers use Builder (or internal/corpus) directly and never hold the
+// whole tree slice.
 func Build(trees []*xmltree.Tree, opts BuildOptions) *Corpus {
-	paths := xmltree.NewPathTable()
-	items := NewItemTable(paths)
-	c := &Corpus{
-		Paths: paths,
-		Items: items,
-		Terms: NewTermTable(),
-		Trees: trees,
+	b := NewBuilder(opts)
+	for _, t := range trees {
+		b.Add(t)
 	}
-	for docID, t := range trees {
-		t.DocID = docID
-		if d := t.Depth(); d > c.MaxDepth {
-			c.MaxDepth = d
-		}
-		res := tuple.Extract(t, opts.Tuple)
-		if res.Truncated {
-			c.TruncatedDocs++
-		}
-		label := -1
-		if docID < len(opts.Labels) {
-			label = opts.Labels[docID]
-		}
-		for _, tt := range res.Tuples {
-			ids := make([]ItemID, 0, len(tt.Leaves))
-			for _, lf := range tt.Leaves {
-				pid := paths.Intern(lf.Path)
-				ids = append(ids, items.Intern(pid, lf.Node.Value))
-			}
-			c.Transactions = append(c.Transactions, NewTransaction(ids, docID, tt.Index, label))
-		}
-	}
-	return c
+	return b.Finish()
 }
 
 // MaxTransactionLen returns |trmax| over a set of transactions (0 if empty).

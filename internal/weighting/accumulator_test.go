@@ -1,0 +1,107 @@
+package weighting_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlclust/internal/txn"
+	"xmlclust/internal/vector"
+	"xmlclust/internal/weighting"
+	"xmlclust/internal/xmltree"
+)
+
+func accTestTrees(t *testing.T, n int) []*xmltree.Tree {
+	t.Helper()
+	trees := make([]*xmltree.Tree, n)
+	for i := range trees {
+		doc := fmt.Sprintf(
+			`<paper key="k%d"><title>clustering xml trees %d</title><author>greco</author><author>tagarelli %d</author><venue>icpp</venue></paper>`,
+			i, i%4, i%2)
+		tree, err := xmltree.ParseString(doc, xmltree.DefaultParseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees[i] = tree
+	}
+	return trees
+}
+
+// TestAccumulatorMatchesApply feeds the same corpus twice — once through
+// the batch Apply pass, once document-by-document through an Accumulator
+// attached to an incremental Builder — and requires identical vectors,
+// term ids and stats.
+func TestAccumulatorMatchesApply(t *testing.T) {
+	mk := func() []*xmltree.Tree { return accTestTrees(t, 7) }
+
+	batch := txn.Build(mk(), txn.BuildOptions{})
+	batchStats := weighting.Apply(batch)
+
+	b := txn.NewBuilder(txn.BuildOptions{})
+	acc := weighting.NewAccumulator(b.Corpus())
+	b.Observe(acc)
+	for _, tree := range mk() {
+		b.Add(tree)
+	}
+	stream := b.Finish()
+	streamStats := acc.Finalize()
+
+	if batchStats != streamStats {
+		t.Fatalf("stats differ: batch %+v, streaming %+v", batchStats, streamStats)
+	}
+	if batch.Terms.Len() != stream.Terms.Len() {
+		t.Fatalf("vocabulary %d != %d", batch.Terms.Len(), stream.Terms.Len())
+	}
+	for i := int32(0); i < int32(batch.Terms.Len()); i++ {
+		if batch.Terms.Term(i) != stream.Terms.Term(i) {
+			t.Fatalf("term id %d is %q batch vs %q streaming — interning order diverged",
+				i, batch.Terms.Term(i), stream.Terms.Term(i))
+		}
+	}
+	if batch.Items.Len() != stream.Items.Len() {
+		t.Fatalf("items %d != %d", batch.Items.Len(), stream.Items.Len())
+	}
+	for i := 0; i < batch.Items.Len(); i++ {
+		a, s := batch.Items.Get(txn.ItemID(i)), stream.Items.Get(txn.ItemID(i))
+		if !vector.Equal(a.Vector, s.Vector) {
+			t.Fatalf("item %d (%q): vector differs between batch Apply and streaming Accumulator", i, a.Answer)
+		}
+	}
+}
+
+// TestAccumulatorEmptyDocs checks documents that contribute no items
+// (empty elements only) flow through the per-document fold without
+// skewing counts.
+func TestAccumulatorEmptyDocs(t *testing.T) {
+	docs := []string{
+		`<r><a/><b/></r>`, // tuples with no content leaves
+		`<r><x>real content here</x></r>`,
+		`<r><c/></r>`,
+	}
+	trees := make([]*xmltree.Tree, len(docs))
+	for i, d := range docs {
+		trees[i] = xmltree.MustParseString(d, xmltree.DefaultParseOptions())
+	}
+	batch := txn.Build(trees, txn.BuildOptions{})
+	batchStats := weighting.Apply(batch)
+
+	trees2 := make([]*xmltree.Tree, len(docs))
+	for i, d := range docs {
+		trees2[i] = xmltree.MustParseString(d, xmltree.DefaultParseOptions())
+	}
+	b := txn.NewBuilder(txn.BuildOptions{})
+	acc := weighting.NewAccumulator(b.Corpus())
+	b.Observe(acc)
+	for _, tree := range trees2 {
+		b.Add(tree)
+	}
+	stream := b.Finish()
+	streamStats := acc.Finalize()
+	if batchStats != streamStats {
+		t.Fatalf("stats differ with empty docs: %+v vs %+v", batchStats, streamStats)
+	}
+	for i := 0; i < batch.Items.Len(); i++ {
+		if !vector.Equal(batch.Items.Get(txn.ItemID(i)).Vector, stream.Items.Get(txn.ItemID(i)).Vector) {
+			t.Fatalf("item %d vector differs", i)
+		}
+	}
+}

@@ -14,6 +14,16 @@
 // item the average of its per-occurrence ttf.itf weights; this keeps the
 // item domain well-defined without losing the context sensitivity of the
 // scheme (documented in DESIGN.md).
+//
+// The scheme decomposes into a per-document part and a collection part: the
+// tuple and tree factors of an occurrence depend only on the occurrence's
+// own document, while the itf factor ln(N_T/n_{j,T}) needs collection
+// totals that are plain monotone counters. Accumulator exploits this to
+// weight a corpus in one streaming pass — per-document counts are folded
+// into per-item running sums the moment a document completes, so no
+// document state outlives its document — with Finalize applying the
+// collection-level factors at the end. Apply is the batch driver over the
+// same accumulator.
 package weighting
 
 import (
@@ -24,7 +34,7 @@ import (
 	"xmlclust/internal/vector"
 )
 
-// Stats carries the collection-level counters computed during Apply,
+// Stats carries the collection-level counters computed during weighting,
 // exposed for tests and diagnostics.
 type Stats struct {
 	// TotalTCUs is N_T: the number of TCUs over all tree tuples.
@@ -36,74 +46,92 @@ type Stats struct {
 	EmptyItems int
 }
 
-// Apply computes the ttf.itf TCU vector of every item in the corpus.
-// It must run once, after txn.Build and before clustering.
-func Apply(c *txn.Corpus) Stats {
-	nItems := c.Items.Len()
-	// Term multiset per item (tf maps), interned through the corpus table.
-	itemTF := make([]map[int32]int, nItems)
-	itemTerms := make([][]int32, nItems) // distinct terms, for set passes
-	for id := 0; id < nItems; id++ {
-		it := c.Items.Get(txn.ItemID(id))
+// Accumulator computes ttf.itf incrementally. Feed each document's
+// transactions with ObserveDoc as they are built (it implements
+// txn.DocSink, so it plugs straight into txn.Builder.Observe), then call
+// Finalize once to assign every item's vector. Memory is bounded by the
+// item/term tables plus the current document — never by the corpus's
+// document count. For the same corpus fed in the same document order the
+// resulting vectors are byte-identical to the historical batch pass:
+// per-item context sums accumulate in document order either way, and the
+// collection-level itf factor is only applied at the end.
+type Accumulator struct {
+	c *txn.Corpus
+	// Per-item term multiset (tf map) and distinct-term list, extended
+	// lazily as interning grows the item table; term interning therefore
+	// happens in item-id order, keeping term ids deterministic.
+	itemTF    []map[int32]int
+	itemTerms [][]int32
+	// Collection-level counters, following the tuple-multiplicity reading:
+	// N_T = Σ_τ N_τ and n_{j,T} = Σ_τ n_{j,τ}.
+	nT  int
+	njT map[int32]int
+	// Per-item occurrence-context running sums:
+	// ctx[t] = Σ over occurrences of exp(n_{j,τ}/N_τ)·(n_{j,XT}/N_XT).
+	accCtx []map[int32]float64
+	accN   []int
+}
+
+// NewAccumulator creates an accumulator bound to the corpus under
+// construction (the interning tables must be the ones the transactions
+// reference).
+func NewAccumulator(c *txn.Corpus) *Accumulator {
+	return &Accumulator{c: c, njT: map[int32]int{}}
+}
+
+// syncItems extends the per-item state to cover items interned since the
+// last call, preprocessing their answers and interning their terms.
+func (a *Accumulator) syncItems() {
+	n := a.c.Items.Len()
+	for id := len(a.itemTF); id < n; id++ {
+		it := a.c.Items.Get(txn.ItemID(id))
 		tf := map[int32]int{}
 		for _, w := range textproc.Preprocess(it.Answer) {
-			tf[c.Terms.Intern(w)]++
+			tf[a.c.Terms.Intern(w)]++
 		}
-		itemTF[id] = tf
+		a.itemTF = append(a.itemTF, tf)
 		terms := make([]int32, 0, len(tf))
 		for t := range tf {
 			terms = append(terms, t)
 		}
-		itemTerms[id] = terms
+		a.itemTerms = append(a.itemTerms, terms)
+		a.accCtx = append(a.accCtx, nil)
+		a.accN = append(a.accN, 0)
 	}
+}
 
-	// Collection-level counters, following the tuple-multiplicity reading:
-	// N_T = Σ_τ N_τ and n_{j,T} = Σ_τ n_{j,τ}.
-	nT := 0
-	njT := map[int32]int{}
-	// Per-document (tree) counters over the document's distinct items.
-	type docStat struct {
-		nXT  int
-		njXT map[int32]int
-	}
-	docStats := map[int]*docStat{}
-	docItems := map[int]map[txn.ItemID]struct{}{}
-	for _, tr := range c.Transactions {
-		nT += tr.Len()
+// ObserveDoc folds one completed document into the accumulator: trs must be
+// all transactions of document doc, exactly once per document, in document
+// order. Implements txn.DocSink.
+func (a *Accumulator) ObserveDoc(doc int, trs []*txn.Transaction) {
+	a.syncItems()
+
+	// Document-level counts over the document's distinct items.
+	docItems := map[txn.ItemID]struct{}{}
+	for _, tr := range trs {
+		a.nT += tr.Len()
 		for _, id := range tr.Items {
-			seen := map[int32]struct{}{}
-			for _, t := range itemTerms[id] {
-				seen[t] = struct{}{}
+			// itemTerms is already the distinct-term list of the item, so
+			// n_{j,T} counts each (occurrence, term) pair exactly once.
+			for _, t := range a.itemTerms[id] {
+				a.njT[t]++
 			}
-			for t := range seen {
-				njT[t]++
-			}
-			di, ok := docItems[tr.Doc]
-			if !ok {
-				di = map[txn.ItemID]struct{}{}
-				docItems[tr.Doc] = di
-			}
-			di[id] = struct{}{}
+			docItems[id] = struct{}{}
 		}
 	}
-	for doc, items := range docItems {
-		ds := &docStat{njXT: map[int32]int{}}
-		ds.nXT = len(items)
-		for id := range items {
-			for _, t := range itemTerms[id] {
-				ds.njXT[t]++
-			}
+	nXT := len(docItems)
+	if nXT == 0 {
+		return
+	}
+	njXT := map[int32]int{}
+	for id := range docItems {
+		for _, t := range a.itemTerms[id] {
+			njXT[t]++
 		}
-		docStats[doc] = ds
 	}
 
-	// Per-occurrence context factors, accumulated per item then averaged.
-	type acc struct {
-		ctx map[int32]float64 // term → Σ exp(n_{j,τ}/N_τ)·(n_{j,XT}/N_XT)
-		n   int
-	}
-	accs := make([]acc, nItems)
-	for _, tr := range c.Transactions {
+	// Per-occurrence context factors, folded into the per-item sums.
+	for _, tr := range trs {
 		if tr.Len() == 0 {
 			continue
 		}
@@ -111,47 +139,71 @@ func Apply(c *txn.Corpus) Stats {
 		// n_{j,τ}: per-term count of TCUs (items) in this tuple.
 		njTau := map[int32]int{}
 		for _, id := range tr.Items {
-			for _, t := range itemTerms[id] {
+			for _, t := range a.itemTerms[id] {
 				njTau[t]++
 			}
 		}
-		ds := docStats[tr.Doc]
 		for _, id := range tr.Items {
-			a := &accs[id]
-			if a.ctx == nil {
-				a.ctx = map[int32]float64{}
+			if a.accCtx[id] == nil {
+				a.accCtx[id] = map[int32]float64{}
 			}
-			a.n++
-			for _, t := range itemTerms[id] {
+			a.accN[id]++
+			ctx := a.accCtx[id]
+			for _, t := range a.itemTerms[id] {
 				tupleFactor := math.Exp(float64(njTau[t]) / nTau)
-				treeFactor := float64(ds.njXT[t]) / float64(ds.nXT)
-				a.ctx[t] += tupleFactor * treeFactor
+				treeFactor := float64(njXT[t]) / float64(nXT)
+				ctx[t] += tupleFactor * treeFactor
 			}
 		}
 	}
+}
 
-	stats := Stats{TotalTCUs: nT}
-	for id := 0; id < nItems; id++ {
-		tf := itemTF[id]
+// Finalize applies the collection-level itf factor and assigns every item's
+// TCU vector. Call once, after the last document.
+func (a *Accumulator) Finalize() Stats {
+	a.syncItems()
+	stats := Stats{TotalTCUs: a.nT}
+	for id := range a.itemTF {
+		tf := a.itemTF[id]
 		if len(tf) == 0 {
 			stats.EmptyItems++
 			continue
 		}
-		a := accs[id]
 		weights := make(map[int32]float64, len(tf))
 		for t, f := range tf {
-			idf := math.Log(float64(nT) / float64(njT[t]))
+			idf := math.Log(float64(a.nT) / float64(a.njT[t]))
 			avgCtx := 1.0
-			if a.n > 0 {
-				avgCtx = a.ctx[t] / float64(a.n)
+			if a.accN[id] > 0 {
+				avgCtx = a.accCtx[id][t] / float64(a.accN[id])
 			}
 			w := float64(f) * avgCtx * idf
 			if w > 0 {
 				weights[t] = w
 			}
 		}
-		c.Items.SetVector(txn.ItemID(id), vector.FromMap(weights))
+		a.c.Items.SetVector(txn.ItemID(id), vector.FromMap(weights))
 	}
-	stats.Vocabulary = c.Terms.Len()
+	stats.Vocabulary = a.c.Terms.Len()
 	return stats
+}
+
+// Apply computes the ttf.itf TCU vector of every item in the corpus in one
+// batch: it groups the corpus's transactions per document (first-seen
+// order; txn.Build emits documents contiguously, so this is the build
+// order) and drives an Accumulator over them. It must run once, after
+// txn.Build and before clustering.
+func Apply(c *txn.Corpus) Stats {
+	a := NewAccumulator(c)
+	var docs []int
+	byDoc := map[int][]*txn.Transaction{}
+	for _, tr := range c.Transactions {
+		if _, ok := byDoc[tr.Doc]; !ok {
+			docs = append(docs, tr.Doc)
+		}
+		byDoc[tr.Doc] = append(byDoc[tr.Doc], tr)
+	}
+	for _, doc := range docs {
+		a.ObserveDoc(doc, byDoc[doc])
+	}
+	return a.Finalize()
 }

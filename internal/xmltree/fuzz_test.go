@@ -30,12 +30,12 @@ func FuzzParse(f *testing.F) {
 		// Malformed and truncated shapes.
 		``,
 		`no xml here`,
-		`<a/><b/>`,               // multiple roots
-		`<a><b></a></b>`,         // crossed tags
-		`<a><b>unterminated`,     // truncated mid-element
-		`<a attr=>bad attr</a>`,  // mangled attribute
-		`<a>&unknown;</a>`,       // undefined entity
-		`<?xml version="1.0"?>`,  // prolog only
+		`<a/><b/>`,              // multiple roots
+		`<a><b></a></b>`,        // crossed tags
+		`<a><b>unterminated`,    // truncated mid-element
+		`<a attr=>bad attr</a>`, // mangled attribute
+		`<a>&unknown;</a>`,      // undefined entity
+		`<?xml version="1.0"?>`, // prolog only
 		`<a>` + strings.Repeat("<d>", 50) + "deep" + strings.Repeat("</d>", 50) + `</a>`,
 		"<a>\xff\xfe binary \x00 soup</a>",
 		`<a xmlns:x="u"><x:b x:k="v">ns</x:b></a>`,

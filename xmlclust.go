@@ -11,14 +11,21 @@
 // peer of a P2P network clusters its local data and exchanges cluster
 // representatives to converge on a global solution collaboratively.
 //
-// Quick start:
+// Quick start (streaming; a directory, tar[.gz] archive or single file):
 //
-//	trees, err := xmlclust.ParseFiles(paths)
-//	corpus := xmlclust.BuildCorpus(trees, xmlclust.CorpusOptions{})
+//	src, err := xmlclust.OpenSource("corpus/")
+//	corpus, stats, err := xmlclust.BuildCorpusFromSource(src, xmlclust.CorpusOptions{})
 //	res, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
 //		K: 8, F: 0.5, Gamma: 0.7, Peers: 4,
 //	})
 //	for i, cl := range res.Assign { ... }
+//
+// Ingestion is a bounded-memory pipeline: documents stream out of the
+// Source through parallel parse/extract workers into an index-ordered
+// merge, so only O(IngestWorkers) parsed trees exist at any instant and
+// the corpus is byte-identical for any worker count. Trees already in
+// memory go through the batch form (ParseFiles + BuildCorpus), which
+// yields the identical corpus for the same documents in the same order.
 //
 // The internal packages implement the substrates (tree model, tuple
 // extraction, transactional model, similarity, representatives, the P2P
@@ -36,6 +43,7 @@ import (
 
 	"xmlclust/internal/cluster"
 	"xmlclust/internal/core"
+	"xmlclust/internal/corpus"
 	"xmlclust/internal/eval"
 	"xmlclust/internal/p2p"
 	"xmlclust/internal/pkmeans"
@@ -108,19 +116,115 @@ type CorpusOptions struct {
 	// combinatorially many tuples.
 	MaxTuplesPerTree int
 	// Labels optionally provides per-document ground-truth classes for
-	// evaluation; transactions inherit their document's label.
+	// evaluation; transactions inherit their document's label. Sources that
+	// carry their own labels (TreeSource) take precedence on the streaming
+	// path.
 	Labels []int
+	// Parse maps raw XML onto the tree model on the streaming path; nil
+	// selects the default options (attributes kept, text concatenated).
+	Parse *ParseOptions
+	// IngestWorkers is the number of parse/extract workers the streaming
+	// path fans out over (0 or negative = one per CPU, 1 = serial). The
+	// corpus is byte-identical for any value.
+	IngestWorkers int
 }
 
 // BuildCorpus extracts tree tuples, builds the transactional model and
-// computes ttf.itf content vectors.
+// computes ttf.itf content vectors — the batch entry point for trees
+// already in memory. For collections too large to hold as parsed trees,
+// use BuildCorpusFromSource.
 func BuildCorpus(trees []*Tree, opts CorpusOptions) *Corpus {
-	corpus := txn.Build(trees, txn.BuildOptions{
+	c := txn.Build(trees, txn.BuildOptions{
 		Tuple:  tuple.Options{MaxTuplesPerTree: opts.MaxTuplesPerTree},
 		Labels: opts.Labels,
 	})
-	weighting.Apply(corpus)
-	return corpus
+	weighting.Apply(c)
+	return c
+}
+
+// Source yields the documents of a corpus one at a time (see DirSource,
+// FileSource, TarSource, TreeSource, OpenSource, MultiSource).
+type Source = corpus.Source
+
+// Document is one unit yielded by a Source: raw XML or a pre-parsed tree.
+type Document = corpus.Document
+
+// IngestStats describes one streaming ingestion run: corpus sizes,
+// throughput (DocsPerSec), truncation and the peak number of parsed
+// documents queued in the reorder buffer (bounded by the worker window,
+// never by the corpus size).
+type IngestStats = corpus.Stats
+
+// DirSource walks root recursively and yields every *.xml file in lexical
+// path order. It fails when the walk finds no XML documents.
+func DirSource(root string) (Source, error) { return corpus.Dir(root) }
+
+// FileSource yields an explicit list of XML files in the given order.
+func FileSource(paths ...string) Source { return corpus.Files(paths...) }
+
+// TarSource yields the *.xml entries of a tar or tar.gz stream in archive
+// order; compression is auto-detected. name labels errors.
+func TarSource(r io.Reader, name string) (Source, error) { return corpus.Tar(r, name) }
+
+// TreeSource yields already-parsed trees with optional per-document labels
+// (nil or short labels yield −1) — the adapter for in-process generators.
+func TreeSource(name string, trees []*Tree, labels []int) Source {
+	return corpus.Trees(name, trees, labels)
+}
+
+// MultiSource concatenates sources in order.
+func MultiSource(srcs ...Source) Source { return corpus.Multi(srcs...) }
+
+// OpenSource auto-detects what path holds — a directory (recursive walk),
+// a tar/tar.gz archive, or a single XML document — and returns the
+// matching source.
+func OpenSource(path string) (Source, error) { return corpus.Open(path) }
+
+// BuildCorpusFromSource streams every document of src through the full
+// preprocessing pipeline — parse, tuple extraction, transactional model,
+// ttf.itf weighting — holding only O(IngestWorkers) parsed trees in memory
+// at any instant, so corpus size is bounded by the transactional model and
+// not by the XML. Parsing and extraction fan out over
+// CorpusOptions.IngestWorkers goroutines behind an index-ordered merge:
+// the corpus is byte-identical to BuildCorpus on the same documents in the
+// same order, for any worker count.
+func BuildCorpusFromSource(src Source, opts CorpusOptions) (*Corpus, IngestStats, error) {
+	return corpus.Build(src, corpus.Options{
+		Tuple:   tuple.Options{MaxTuplesPerTree: opts.MaxTuplesPerTree},
+		Parse:   opts.Parse,
+		Labels:  opts.Labels,
+		Workers: opts.IngestWorkers,
+	})
+}
+
+// OpenCorpus loads a preprocessed corpus gob (as written by SaveCorpus /
+// `cxkcluster -save`), or — when path holds a directory, tar[.gz] archive
+// or XML document instead — builds the corpus on the fly via the streaming
+// ingestion pipeline. Deployments can therefore point cxkpeer straight at
+// raw data without a separate preprocessing step. The returned stats are
+// zero when a saved corpus was loaded.
+func OpenCorpus(path string, opts CorpusOptions) (*Corpus, IngestStats, error) {
+	kind, err := corpus.Detect(path)
+	if err != nil {
+		return nil, IngestStats{}, err
+	}
+	if kind == corpus.KindUnknown {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, IngestStats{}, err
+		}
+		defer f.Close()
+		c, err := txn.Load(f)
+		if err != nil {
+			return nil, IngestStats{}, fmt.Errorf("xmlclust: %s is neither XML data nor a saved corpus: %w", path, err)
+		}
+		return c, IngestStats{}, nil
+	}
+	src, err := corpus.Open(path)
+	if err != nil {
+		return nil, IngestStats{}, err
+	}
+	return BuildCorpusFromSource(src, opts)
 }
 
 // Algorithm selects the clustering algorithm.

@@ -2,7 +2,10 @@ package xmlclust
 
 import (
 	"bytes"
+	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -291,6 +294,192 @@ func TestClusterWorkersEquivalence(t *testing.T) {
 			case !serial.Reps[j].Equal(got.Reps[j]):
 				t.Errorf("workers=%d: rep %d differs", w, j)
 			}
+		}
+	}
+}
+
+func writeSampleDir(t testing.TB) (string, []string) {
+	t.Helper()
+	dir := t.TempDir()
+	paths := make([]string, len(sampleDocs))
+	for i, d := range sampleDocs {
+		p := filepath.Join(dir, fmt.Sprintf("doc-%02d.xml", i))
+		if err := os.WriteFile(p, []byte(d), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	return dir, paths
+}
+
+func corpusBytes(t testing.TB, c *Corpus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBuildCorpusFromSourceMatchesBatch(t *testing.T) {
+	dir, paths := writeSampleDir(t)
+	trees, err := ParseFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := corpusBytes(t, BuildCorpus(trees, CorpusOptions{}))
+
+	for _, workers := range []int{1, 2, 8} {
+		src, err := DirSource(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, stats, err := BuildCorpusFromSource(src, CorpusOptions{IngestWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(corpusBytes(t, c), want) {
+			t.Fatalf("workers=%d: streaming corpus differs from batch BuildCorpus", workers)
+		}
+		if stats.Docs != len(sampleDocs) {
+			t.Fatalf("workers=%d: ingested %d docs, want %d", workers, stats.Docs, len(sampleDocs))
+		}
+		if stats.DocsPerSec() <= 0 {
+			t.Fatalf("workers=%d: DocsPerSec = %v", workers, stats.DocsPerSec())
+		}
+	}
+}
+
+func TestTreeSourceCarriesLabels(t *testing.T) {
+	labels := []int{0, 0, 0, 1, 1, 1}
+	var trees []*Tree
+	for _, d := range sampleDocs {
+		tree, err := ParseString(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+	}
+	want := corpusBytes(t, sampleCorpus(t))
+	c, _, err := BuildCorpusFromSource(TreeSource("sample", trees, labels), CorpusOptions{IngestWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(corpusBytes(t, c), want) {
+		t.Fatal("tree-source corpus differs from labeled BuildCorpus")
+	}
+	for i, l := range Labels(c) {
+		if l != labels[c.Transactions[i].Doc] {
+			t.Fatalf("transaction %d label %d, want %d", i, l, labels[c.Transactions[i].Doc])
+		}
+	}
+}
+
+func TestClusterFromStreamingCorpus(t *testing.T) {
+	dir, _ := writeSampleDir(t)
+	src, err := DirSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := BuildCorpusFromSource(src, CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Cluster(c, ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Seed: 3, Peers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != len(c.Transactions) {
+		t.Fatalf("assign len %d, want %d", len(res.Assign), len(c.Transactions))
+	}
+}
+
+func TestOpenCorpus(t *testing.T) {
+	dir, _ := writeSampleDir(t)
+
+	// Raw directory: builds via the streaming pipeline.
+	fromDir, stats, err := OpenCorpus(dir, CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Docs != len(sampleDocs) {
+		t.Fatalf("dir ingest: %d docs, want %d", stats.Docs, len(sampleDocs))
+	}
+
+	// Saved gob: loads without ingestion.
+	gobPath := filepath.Join(t.TempDir(), "corpus.gob")
+	f, err := os.Create(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCorpus(f, fromDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fromGob, stats, err := OpenCorpus(gobPath, CorpusOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Docs != 0 {
+		t.Fatalf("gob load reported ingestion stats: %+v", stats)
+	}
+	if !bytes.Equal(corpusBytes(t, fromDir), corpusBytes(t, fromGob)) {
+		t.Fatal("gob round trip through OpenCorpus differs")
+	}
+
+	// Garbage: a readable error naming both interpretations.
+	junk := filepath.Join(t.TempDir(), "junk.bin")
+	if err := os.WriteFile(junk, []byte("\x00\x01\x02 garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenCorpus(junk, CorpusOptions{}); err == nil {
+		t.Fatal("garbage should not load")
+	} else if !strings.Contains(err.Error(), "neither XML data nor a saved corpus") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+
+	if _, _, err := OpenCorpus(filepath.Join(dir, "missing"), CorpusOptions{}); err == nil {
+		t.Fatal("missing path should error")
+	}
+}
+
+func TestDirSourceRequiresXML(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "readme.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DirSource(dir); err == nil {
+		t.Fatal("directory without XML documents should error")
+	}
+}
+
+func TestBuildCorpusFromSourceLabelsFallback(t *testing.T) {
+	// File sources carry no labels; CorpusOptions.Labels (document order)
+	// must fill them in, matching the batch path exactly.
+	dir, paths := writeSampleDir(t)
+	labels := []int{0, 0, 0, 1, 1, 1}
+	trees, err := ParseFiles(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := corpusBytes(t, BuildCorpus(trees, CorpusOptions{Labels: labels}))
+
+	src, err := DirSource(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := BuildCorpusFromSource(src, CorpusOptions{Labels: labels, IngestWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(corpusBytes(t, c), want) {
+		t.Fatal("streaming corpus with Labels fallback differs from labeled batch BuildCorpus")
+	}
+	for i, l := range Labels(c) {
+		if want := labels[c.Transactions[i].Doc]; l != want {
+			t.Fatalf("transaction %d label %d, want %d", i, l, want)
 		}
 	}
 }
