@@ -12,11 +12,13 @@ package xmlclust
 // slower). See EXPERIMENTS.md for the paper-vs-measured comparison.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"xmlclust/internal/corpus"
 	"xmlclust/internal/dataset"
@@ -295,6 +297,69 @@ func BenchmarkAblationSemantics(b *testing.B) {
 		b.ReportMetric(pts[0].F, "F-exact")
 		b.ReportMetric(pts[2].F, "F-semantic")
 	}
+}
+
+// --------------------------------------------------------- Engine sweeps
+
+// BenchmarkSweepWarmVsCold quantifies the Engine's similarity-cache reuse
+// on a 3×3 f/γ grid: the cold leg runs one grid cell on a fresh Engine per
+// iteration (structural and item-pair caches rebuilt from scratch), the
+// warm leg runs the identical cell on an Engine pre-warmed by the full
+// Engine.Sweep grid. Both legs produce byte-identical results — only the
+// cache temperature differs. The legs are interleaved per iteration so
+// machine drift hits both equally. Reported metrics: µs per cell for each
+// leg and the cold/warm speedup (expect > 1; ~1.2× on the quick DBLP
+// profile on one core, more with longer content vectors).
+func BenchmarkSweepWarmVsCold(b *testing.B) {
+	gen, _ := dataset.ByName("DBLP")
+	col := gen(dataset.Spec{Docs: 64, Seed: experiments.DataSeed})
+	corpus := col.BuildCorpus(dataset.ByHybrid, 32, 1)
+	// The measured cell is the structure-driven corner of the grid: Eq. 1
+	// degenerates to the structural term there, so the warm engine's memo
+	// replaces the whole per-pair computation and the reuse win is at its
+	// cleanest. The grid still spans hybrid settings, as a real sweep would.
+	cell := ClusterOptions{K: col.K(dataset.ByHybrid), F: 1.0, Gamma: 0.7, Seed: 17, Workers: 1}
+	grid := SweepSpec{
+		Base:        cell,
+		Fs:          []float64{0.5, 0.7, 1.0},
+		Gammas:      []float64{0.6, 0.7, 0.8},
+		Concurrency: 1,
+	}
+
+	warmEng, err := NewEngine(corpus, EngineOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warmEng.Sweep(context.Background(), grid); err != nil {
+		b.Fatal(err) // pre-warm: the full grid fills the shared caches
+	}
+
+	var cold, warm time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coldEng, err := NewEngine(corpus, EngineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := coldEng.Cluster(context.Background(), cell); err != nil {
+			b.Fatal(err)
+		}
+		cold += time.Since(t0)
+
+		t1 := time.Now()
+		if _, err := warmEng.Cluster(context.Background(), cell); err != nil {
+			b.Fatal(err)
+		}
+		warm += time.Since(t1)
+	}
+
+	b.ReportMetric(float64(cold.Microseconds())/float64(b.N), "cold-µs/cell")
+	b.ReportMetric(float64(warm.Microseconds())/float64(b.N), "warm-µs/cell")
+	if warm > 0 {
+		b.ReportMetric(float64(cold)/float64(warm), "speedup-warm")
+	}
+	b.ReportMetric(float64(warmEng.CachedPathSims()), "cached-pairs")
 }
 
 // ------------------------------------------------------------- Ingestion

@@ -5,24 +5,31 @@
 //
 //	cxkbench -exp fig7                # Fig. 7 on all four corpora
 //	cxkbench -exp fig8 -dataset DBLP  # one Fig. 8 panel
-//	cxkbench -exp table1|table2|gamma|rules|cache|all
+//	cxkbench -exp table1|table2|gamma|rules|cache|sweep|all
 //	cxkbench -scale paper             # paper-geometry profile (slow)
+//
+// The sweep experiment exercises the public Engine API: one Engine fans an
+// f×γ grid over its shared similarity caches (Engine.Sweep), printing the
+// per-cell scores and the cache warmth the grid accumulated.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"xmlclust"
 	"xmlclust/internal/dataset"
 	"xmlclust/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | all")
-		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma/workers)")
+		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | sweep | all")
+		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma/workers/sweep)")
 		scaleFl = flag.String("scale", "quick", "profile: quick | paper")
 		workers = flag.Int("workers", 1, "intra-peer worker goroutines, also used as ingest workers for corpus preparation (0 = one per CPU); results are identical for any value")
 	)
@@ -130,6 +137,49 @@ func main() {
 		res.Write(os.Stdout)
 		fmt.Println()
 	}
+	if want("sweep") {
+		d := "DBLP"
+		if *ds != "" {
+			d = canonical(*ds)
+		}
+		check(runSweep(d, scale, *workers))
+		fmt.Println()
+	}
+}
+
+// runSweep drives the public Engine.Sweep surface over an f×γ grid on one
+// generated corpus: every cell reuses the engine's warm structural caches,
+// so the grid's aggregate compute is far below #cells × cold-run cost (see
+// BenchmarkSweepWarmVsCold for the tracked number).
+func runSweep(ds string, scale experiments.Scale, workers int) error {
+	gen, _ := dataset.ByName(ds)
+	col := gen(dataset.Spec{Docs: scale.Docs[ds], Seed: experiments.DataSeed})
+	corpus := col.BuildCorpus(dataset.ByHybrid, scale.MaxTuples, workers)
+	eng, err := xmlclust.NewEngine(corpus, xmlclust.EngineOptions{})
+	if err != nil {
+		return err
+	}
+	spec := xmlclust.SweepSpec{
+		Base:   xmlclust.ClusterOptions{K: col.K(dataset.ByHybrid), Seed: scale.Seeds[0], Workers: workers},
+		Fs:     []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+		Gammas: []float64{0.6, 0.7, 0.8},
+	}
+	t0 := time.Now()
+	cells, err := eng.Sweep(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Engine sweep — f×γ grid (%s, hybrid, centralized, k=%d)\n", ds, spec.Base.K)
+	fmt.Printf("%6s %6s %12s %8s %12s\n", "f", "γ", "F-measure", "trash", "wall")
+	for _, c := range cells {
+		fmt.Printf("%6.1f %6.1f %12.3f %8.2f %12s\n",
+			c.Options.F, c.Options.Gamma, c.Scores.FMeasure, c.Scores.Trash,
+			c.Result.WallTime.Round(time.Microsecond))
+	}
+	fmt.Printf("%d cells in %v elapsed (%v summed cell wall time); %d structural pair sims cached\n",
+		len(cells), time.Since(t0).Round(time.Millisecond),
+		xmlclust.SweepDuration(cells).Round(time.Millisecond), eng.CachedPathSims())
+	return nil
 }
 
 func canonical(name string) string {

@@ -9,38 +9,61 @@
 // or a tar/tar.gz archive of XML documents. Ingestion is streaming: the
 // pipeline holds O(-ingest-workers) parsed trees at any instant, so corpus
 // size is bounded by the transactional model, not by the XML.
+//
+// The run is cancellable: SIGINT/SIGTERM (Ctrl-C) aborts the job at the
+// next clean round boundary. -progress streams round-by-round events to
+// stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"xmlclust"
 )
 
 func main() {
 	var (
-		k       = flag.Int("k", 4, "number of clusters")
-		f       = flag.Float64("f", 0.5, "structure/content balance f ∈ [0,1]")
-		gamma   = flag.Float64("gamma", 0.7, "γ-matching threshold")
-		peers   = flag.Int("peers", 1, "number of P2P nodes (1 = centralized)")
-		workers = flag.Int("workers", 0, "worker goroutines per peer (0 = one per CPU, 1 = serial); output is identical for any value")
-		ingestW = flag.Int("ingest-workers", 0, "parse/extract workers for ingestion (0 = one per CPU, 1 = serial); the corpus is identical for any value")
-		seed    = flag.Int64("seed", 1, "random seed")
-		tcp     = flag.Bool("tcp", false, "run peers over loopback TCP")
-		unequal = flag.Bool("unequal", false, "skewed data distribution (half the peers hold twice the data)")
-		maxTup  = flag.Int("maxtuples", 0, "cap on tree tuples per document (0 = default)")
-		verbose = flag.Bool("v", false, "print per-transaction assignments")
-		saveTo  = flag.String("save", "", "write the preprocessed corpus to this file after building")
-		loadFm  = flag.String("load", "", "load a preprocessed corpus instead of parsing XML")
+		k        = flag.Int("k", 4, "number of clusters")
+		f        = flag.Float64("f", 0.5, "structure/content balance f ∈ [0,1]")
+		gamma    = flag.Float64("gamma", 0.7, "γ-matching threshold ∈ [0,1]")
+		peers    = flag.Int("peers", 1, "number of P2P nodes (1 = centralized)")
+		workers  = flag.Int("workers", 0, "worker goroutines per peer (0 = one per CPU, 1 = serial); output is identical for any value")
+		ingestW  = flag.Int("ingest-workers", 0, "parse/extract workers for ingestion (0 = one per CPU, 1 = serial); the corpus is identical for any value")
+		seed     = flag.Int64("seed", 1, "random seed")
+		tcp      = flag.Bool("tcp", false, "run peers over loopback TCP")
+		unequal  = flag.Bool("unequal", false, "skewed data distribution (half the peers hold twice the data)")
+		maxTup   = flag.Int("maxtuples", 0, "cap on tree tuples per document (0 = default)")
+		verbose  = flag.Bool("v", false, "print per-transaction assignments")
+		progress = flag.Bool("progress", false, "stream per-round progress events to stderr")
+		saveTo   = flag.String("save", "", "write the preprocessed corpus to this file after building")
+		loadFm   = flag.String("load", "", "load a preprocessed corpus instead of parsing XML")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 && *loadFm == "" {
 		fmt.Fprintln(os.Stderr, "usage: cxkcluster [flags] dir-or-file-or-archive...")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *loadFm != "" {
+		// A loaded corpus is already preprocessed: silently dropping the
+		// preprocessing knobs (or extra XML sources) would run with settings
+		// other than the ones the user asked for.
+		switch {
+		case flag.NArg() > 0:
+			fatal(fmt.Errorf("-load is exclusive with XML sources (got %v); preprocess them into the corpus first", flag.Args()))
+		case *ingestW != 0:
+			fatal(errors.New("-ingest-workers applies to XML ingestion and has no effect with -load"))
+		case *maxTup != 0:
+			fatal(errors.New("-maxtuples applies to XML ingestion and has no effect with -load; rebuild the corpus to change it"))
+		}
 	}
 
 	var corpus *xmlclust.Corpus
@@ -95,10 +118,30 @@ func main() {
 		fmt.Printf("saved corpus to %s\n", *saveTo)
 	}
 
-	res, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+	// Ctrl-C / SIGTERM cancels the clustering job at a clean round
+	// boundary. Installed only now: the ingestion above does not watch a
+	// context, so hooking signals earlier would swallow Ctrl-C for the
+	// whole ingest instead of keeping the default kill behavior there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng, err := xmlclust.NewEngine(corpus, xmlclust.EngineOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	var events func(xmlclust.Event)
+	if *progress {
+		events = progressPrinter()
+	}
+	res, err := eng.Cluster(ctx, xmlclust.ClusterOptions{
 		K: *k, F: *f, Gamma: *gamma, Peers: *peers, Workers: *workers,
 		Seed: *seed, UseTCP: *tcp, UnequalSplit: *unequal,
+		Events: events,
 	})
+	if errors.Is(err, xmlclust.ErrCanceled) {
+		fmt.Fprintln(os.Stderr, "cxkcluster: interrupted, run aborted at a round boundary")
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -138,6 +181,27 @@ func main() {
 		fmt.Println("per-transaction assignments:")
 		for i, tr := range corpus.Transactions {
 			fmt.Printf("  doc %d tuple %d → %d\n", tr.Doc, tr.TupleIndex, res.Assign[i])
+		}
+	}
+}
+
+// progressPrinter renders the engine's event stream as one stderr line per
+// completed peer round plus start/termination markers. Events arrive
+// serialized, so no extra locking is needed.
+func progressPrinter() func(xmlclust.Event) {
+	return func(ev xmlclust.Event) {
+		switch ev.Kind {
+		case xmlclust.EventRoundStart:
+			if ev.Peer == 0 { // one marker per round, not one per peer
+				fmt.Fprintf(os.Stderr, "round %d …\n", ev.Round+1)
+			}
+		case xmlclust.EventRoundEnd:
+			fmt.Fprintf(os.Stderr, "  peer %d round %d: objective %.4f, sent %d msgs / %d B, %v elapsed\n",
+				ev.Peer, ev.Round+1, ev.Objective, ev.SentMsgs, ev.SentBytes, ev.Elapsed.Round(time.Millisecond))
+		case xmlclust.EventDone:
+			if ev.Peer == -1 {
+				fmt.Fprintf(os.Stderr, "done: %d rounds in %v\n", ev.Round, ev.Elapsed.Round(time.Millisecond))
+			}
 		}
 	}
 }

@@ -23,10 +23,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"xmlclust"
@@ -73,13 +77,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cxkpeer %d: ingested %s\n", *id, stats.String())
 	}
 
-	res, err := xmlclust.ClusterDistributed(corpus, xmlclust.DistributedOptions{
+	// SIGINT/SIGTERM shuts the session down gracefully: the peer aborts at
+	// its next safe protocol boundary instead of vanishing mid-round and
+	// leaving neighbours to hit their round deadlines. Installed after the
+	// ingest above, which does not watch a context — hooking signals
+	// earlier would make Ctrl-C a no-op for the whole ingest.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng, err := xmlclust.NewEngine(corpus, xmlclust.EngineOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := eng.ClusterDistributed(ctx, xmlclust.DistributedOptions{
 		K: *k, F: *f, Gamma: *gamma,
 		ID: *id, PeerAddrs: addrs, Listen: *listen,
 		Workers: *workers, UnequalSplit: *unequal,
 		Seed: *seed, MaxRounds: *rounds,
 		RoundTimeout: *roundTO, StartupTimeout: *startTO, DialTimeout: *dialTO,
 	})
+	if errors.Is(err, xmlclust.ErrCanceled) {
+		fmt.Fprintf(os.Stderr, "cxkpeer %d: interrupted, session aborted at a protocol boundary\n", *id)
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,10 +65,16 @@ func main() {
 	}
 	for _, s := range settings {
 		c := xmlclust.BuildCorpus(bib, xmlclust.CorpusOptions{Labels: s.ref})
+		// One Engine per corpus: the seed restarts below share its warm
+		// similarity caches instead of recomputing them per run.
+		eng, err := xmlclust.NewEngine(c, xmlclust.EngineOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
 		bestF := -1.0
 		var rounds int
 		for seed := int64(1); seed <= 6; seed++ {
-			res, err := xmlclust.Cluster(c, xmlclust.ClusterOptions{
+			res, err := eng.Cluster(context.Background(), xmlclust.ClusterOptions{
 				K: s.k, F: s.f, Gamma: s.gamma, Peers: 3, Seed: seed,
 			})
 			if err != nil {

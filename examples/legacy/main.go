@@ -1,0 +1,59 @@
+// Legacy: exercises the deprecated pre-Engine free functions. This example
+// exists as a compile-time compatibility contract — the CI deprecation
+// check builds it, so removing or breaking the legacy wrappers (Cluster,
+// ClusterDistributed) fails the pipeline instead of silently breaking
+// downstream users. New code should use NewEngine + Engine.Cluster; see
+// the migration table in the README.
+//
+//lint:file-ignore SA1019 this example exists to pin the deprecated surface
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlclust"
+)
+
+var docs = []string{
+	`<inventory><item sku="1"><name>espresso machine</name><kind>kitchen</kind></item></inventory>`,
+	`<inventory><item sku="2"><name>espresso grinder</name><kind>kitchen</kind></item></inventory>`,
+	`<inventory><item sku="3"><name>trail running shoes</name><kind>sports</kind></item></inventory>`,
+	`<inventory><item sku="4"><name>road running shoes</name><kind>sports</kind></item></inventory>`,
+}
+
+func main() {
+	var trees []*xmlclust.Tree
+	for _, d := range docs {
+		t, err := xmlclust.ParseString(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trees = append(trees, t)
+	}
+	corpus := xmlclust.BuildCorpus(trees, xmlclust.CorpusOptions{})
+
+	// The deprecated one-shot entry point: no context, no events, a
+	// throwaway engine per call — byte-identical to Engine.Cluster with the
+	// same options and seed.
+	res, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+		K: 2, F: 0.4, Gamma: 0.6, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for doc, cl := range xmlclust.DocumentClusters(corpus, res.Assign) {
+		fmt.Printf("document %d → cluster %d\n", doc, cl)
+	}
+
+	// The deprecated distributed entry point stays callable too (a 1-peer
+	// "cluster" over loopback).
+	dres, err := xmlclust.ClusterDistributed(corpus, xmlclust.DistributedOptions{
+		K: 2, F: 0.4, Gamma: 0.6, Seed: 3,
+		ID: 0, PeerAddrs: []string{"127.0.0.1:0"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed wrapper: %d rounds, %d assignments\n", dres.Rounds, len(dres.Assign))
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -62,10 +63,14 @@ func main() {
 	// Initial representatives are seed-sensitive (standard K-means
 	// behavior), so take the best of a few restarts as a production
 	// deployment would.
+	eng, err := xmlclust.NewEngine(corpus, xmlclust.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	var res *xmlclust.Result
 	var scores xmlclust.Scores
 	for seed := int64(1); seed <= 8; seed++ {
-		r, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+		r, err := eng.Cluster(context.Background(), xmlclust.ClusterOptions{
 			K: 3, F: 0.1, Gamma: 0.5, Peers: 4, Seed: seed,
 		})
 		if err != nil {

@@ -1,9 +1,10 @@
 // Quickstart: parse a handful of XML documents, build the transactional
-// corpus and cluster it centrally with CXK-means — the minimal end-to-end
-// use of the public API.
+// corpus, bind an Engine to it and run one cancellable, observable
+// CXK-means job — the minimal end-to-end use of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,17 +36,33 @@ func main() {
 	fmt.Printf("%d documents → %d transactions over %d items\n",
 		len(trees), len(corpus.Transactions), corpus.Items.Len())
 
-	// 3. Cluster (centralized: Peers defaults to 1). f=0.3 leans on
-	// content, γ=0.6 tolerates partial matches.
-	res, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+	// 3. Bind a reusable Engine to the corpus: every job run on it shares
+	// the warm structural similarity cache, so re-clustering with other
+	// parameters (or a whole Engine.Sweep grid) gets cheaper after the
+	// first run.
+	eng, err := xmlclust.NewEngine(corpus, xmlclust.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run one job (centralized: Peers defaults to 1). f=0.3 leans on
+	// content, γ=0.6 tolerates partial matches. The context cancels the
+	// job at a clean round boundary (wire it to signal.NotifyContext in a
+	// real deployment); Events streams round-by-round progress.
+	res, err := eng.Cluster(context.Background(), xmlclust.ClusterOptions{
 		K: 2, F: 0.3, Gamma: 0.6, Seed: 5,
+		Events: func(ev xmlclust.Event) {
+			if ev.Kind == xmlclust.EventRoundEnd {
+				fmt.Printf("  round %d: objective %.3f\n", ev.Round+1, ev.Objective)
+			}
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("converged in %d rounds (%v)\n", res.Rounds, res.WallTime.Round(1e6))
 
-	// 4. Report per-document clusters (majority vote over tuples).
+	// 5. Report per-document clusters (majority vote over tuples).
 	for doc, cl := range xmlclust.DocumentClusters(corpus, res.Assign) {
 		name := fmt.Sprintf("cluster %d", cl)
 		if cl == xmlclust.TrashCluster {

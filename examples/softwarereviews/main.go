@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -80,10 +81,14 @@ func main() {
 
 	// Hybrid setting: the two encodings must be bridged by content while
 	// the shared fields (developer, license) still contribute structurally.
+	eng, err := xmlclust.NewEngine(corpus, xmlclust.EngineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	best := xmlclust.Scores{}
 	var bestRes *xmlclust.Result
 	for seed := int64(1); seed <= 8; seed++ {
-		res, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+		res, err := eng.Cluster(context.Background(), xmlclust.ClusterOptions{
 			K: 2, F: 0.15, Gamma: 0.5, Peers: 2, Seed: seed,
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -121,8 +122,16 @@ func Relocate(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction) []
 // the per-transaction scan, so the result is byte-identical to the serial
 // Relocate for any worker count.
 func RelocateWorkers(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction, workers int) []int {
+	assign, _ := RelocateCtx(nil, cx, s, reps, workers)
+	return assign
+}
+
+// RelocateCtx is RelocateWorkers with cooperative cancellation: workers stop
+// drawing transactions once ctx is done and the call returns ctx's error
+// with a partial (unusable) assignment. A nil ctx never cancels.
+func RelocateCtx(ctx context.Context, cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction, workers int) ([]int, error) {
 	assign := make([]int, len(s))
-	parallel.For(workers, len(s), func(i int) {
+	err := parallel.ForCtx(ctx, workers, len(s), func(i int) {
 		tr := s[i]
 		best, bestJ := 0.0, TrashCluster
 		for j, rep := range reps {
@@ -136,7 +145,10 @@ func RelocateWorkers(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transact
 		}
 		assign[i] = bestJ
 	})
-	return assign
+	if err != nil {
+		return nil, err
+	}
+	return assign, nil
 }
 
 // XKMeans runs the centralized transactional clustering: select k initial

@@ -56,6 +56,11 @@ type Options struct {
 	// it is typically much longer than RoundTimeout. 0 falls back to
 	// RoundTimeout; negative disables it.
 	StartupTimeout time.Duration
+	// Observer, when non-nil, receives progress events from every peer
+	// session (see PeerConfig.Observer) plus one run-level Done event with
+	// Peer == -1 after all sessions terminate. Must be safe for concurrent
+	// calls.
+	Observer Observer
 }
 
 // DefaultMaxRounds bounds the collaborative loop.
@@ -213,7 +218,10 @@ func ResponsibilityPartition(k, m int) [][]int {
 // sessions concurrently over the shared transport. The corpus supplies the
 // transaction set S and interning tables; cx must be a similarity context
 // over the same corpus with Params equal to opts.Params.
-func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
+//
+// Cancellation of ctx aborts every session at its next safe boundary and
+// Run returns an error wrapping ErrCanceled; a nil ctx never cancels.
+func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
 	m := opts.Peers
 	if m <= 0 {
 		return nil, fmt.Errorf("core: need at least one peer, got %d", m)
@@ -266,10 +274,10 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
 			StartupTimeout: opts.StartupTimeout,
 			Expect:         expectationFrom(cx, corpus, opts),
 			ComputeToken:   computeToken,
+			Observer:       opts.Observer,
 		})
 	}
 
-	ctx := context.Background()
 	t0 := time.Now()
 	var wg sync.WaitGroup
 	results := make([]*SessionResult, m)
@@ -306,6 +314,13 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*Result, error) {
 		for localIdx, a := range sr.Assign {
 			res.Assign[opts.Partition[i][localIdx]] = a
 		}
+	}
+	if opts.Observer != nil {
+		msgs, bytes := res.TotalTraffic()
+		opts.Observer(Event{
+			Kind: EventDone, Peer: -1, Round: res.Rounds, Phase: PhaseDone,
+			SentMsgs: msgs, SentBytes: bytes, Elapsed: wall,
+		})
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -142,7 +143,7 @@ func TestResponsibilityPartition(t *testing.T) {
 func runCXK(t testing.TB, corpus *txn.Corpus, k, m int, seed int64) *Result {
 	t.Helper()
 	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
-	res, err := Run(cx, corpus, Options{
+	res, err := Run(context.Background(), cx, corpus, Options{
 		K: k, Params: cx.Params, Peers: m,
 		Partition: EqualPartition(len(corpus.Transactions), m, seed),
 		Seed:      seed,
@@ -259,7 +260,7 @@ func TestUnequalPartitionRun(t *testing.T) {
 	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
 	bestF := -1.0
 	for seed := int64(1); seed <= 5; seed++ {
-		res, err := Run(cx, corpus, Options{
+		res, err := Run(context.Background(), cx, corpus, Options{
 			K: 2, Params: cx.Params, Peers: 4,
 			Partition: UnequalPartition(len(corpus.Transactions), 4, seed),
 			Seed:      seed,
@@ -286,7 +287,7 @@ func TestRunOverTCPTransport(t *testing.T) {
 			t.Fatal(err)
 		}
 		cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
-		res, err := Run(cx, corpus, Options{
+		res, err := Run(context.Background(), cx, corpus, Options{
 			K: 2, Params: cx.Params, Peers: 3,
 			Partition: EqualPartition(len(corpus.Transactions), 3, seed),
 			Seed:      seed, Transport: tr,
@@ -314,13 +315,13 @@ func TestRunOverTCPTransport(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	corpus, _ := miniCorpus(t, 2)
 	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
-	if _, err := Run(cx, corpus, Options{K: 2, Peers: 0}); err == nil {
+	if _, err := Run(context.Background(), cx, corpus, Options{K: 2, Peers: 0}); err == nil {
 		t.Error("peers=0 should fail")
 	}
-	if _, err := Run(cx, corpus, Options{K: 0, Peers: 1}); err == nil {
+	if _, err := Run(context.Background(), cx, corpus, Options{K: 0, Peers: 1}); err == nil {
 		t.Error("k=0 should fail")
 	}
-	if _, err := Run(cx, corpus, Options{K: 2, Peers: 2, Partition: make([][]int, 1)}); err == nil {
+	if _, err := Run(context.Background(), cx, corpus, Options{K: 2, Peers: 2, Partition: make([][]int, 1)}); err == nil {
 		t.Error("partition mismatch should fail")
 	}
 }
@@ -452,7 +453,7 @@ func TestRunUnderMessageDelays(t *testing.T) {
 	delayed := p2p.NewDelayTransport(inner, 2*time.Millisecond, 99)
 	defer delayed.Close()
 	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
-	res, err := Run(cx, corpus, Options{
+	res, err := Run(context.Background(), cx, corpus, Options{
 		K: 2, Params: cx.Params, Peers: 3,
 		Partition: EqualPartition(len(corpus.Transactions), 3, 4),
 		Seed:      4, Transport: delayed,
@@ -475,7 +476,7 @@ func TestRunUnderMessageDelays(t *testing.T) {
 
 func runCXKWorkers(t testing.TB, cx *sim.Context, corpus *txn.Corpus, k, m int, seed int64, workers int) *Result {
 	t.Helper()
-	res, err := Run(cx, corpus, Options{
+	res, err := Run(context.Background(), cx, corpus, Options{
 		K: k, Params: cx.Params, Peers: m, Workers: workers,
 		Partition: EqualPartition(len(corpus.Transactions), m, seed),
 		Seed:      seed,

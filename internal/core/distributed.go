@@ -69,6 +69,12 @@ func RunPeer(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Opti
 	if id == 0 {
 		start := startMsgFrom(cx, corpus, opts)
 		for i := 0; i < m; i++ {
+			// The dial inside Send is not ctx-aware (it bounds itself with
+			// the transport's DialTimeout), so cancellation is observed
+			// between sends rather than mid-dial.
+			if ctx != nil && ctx.Err() != nil {
+				return nil, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+			}
 			if err := opts.Transport.Send(0, i, start); err != nil {
 				return nil, fmt.Errorf("core: startup send to peer %d: %w", i, err)
 			}
@@ -92,6 +98,7 @@ func RunPeer(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Opti
 		RoundTimeout:   opts.RoundTimeout,
 		StartupTimeout: opts.StartupTimeout,
 		Expect:         expectationFrom(cx, corpus, opts),
+		Observer:       opts.Observer,
 	})
 
 	t0 := time.Now()
@@ -186,7 +193,7 @@ func collectAssignments(ctx context.Context, opts Options, n int, ownAssign []in
 			}
 			env = e
 		case <-ctxDone:
-			return nil, ctx.Err()
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
 		case <-deadlineC:
 			return nil, fmt.Errorf("%w: collected %d of %d final assignments", ErrRoundDeadline, len(seen), m-1)
 		}

@@ -69,6 +69,11 @@ var (
 	// swallowed: a peer that cannot reach a neighbour fails its session
 	// instead of leaving the neighbour to starve.
 	ErrSend = errors.New("core: send failed")
+	// ErrCanceled reports that the run's context was canceled (or its
+	// deadline expired) and the session aborted at the nearest safe
+	// boundary — a phase edge, a blocking receive, or between relocation
+	// passes. The context's own error is attached as detail.
+	ErrCanceled = errors.New("core: run canceled")
 	// ErrConfigMismatch reports that node N0's StartMsg disagrees with
 	// this peer's own run parameters — a multi-process cluster launched
 	// with divergent flags (seed, k, f, γ, corpus, partition) would

@@ -53,6 +53,11 @@ type PeerConfig struct {
 	// ComputeToken, when non-nil, serializes compute sections across peers
 	// so per-peer timings stay clean on oversubscribed hosts.
 	ComputeToken chan struct{}
+	// Observer, when non-nil, receives progress events (phase changes,
+	// round boundaries, termination). Peers run concurrently, so it must be
+	// safe for concurrent calls. Enabling it also turns on the per-round
+	// local objective computation reported in RoundEnd events.
+	Observer Observer
 }
 
 // StartExpectation pins the parameters a peer expects node N0 to announce.
@@ -139,14 +144,21 @@ type SessionResult struct {
 
 // RunSession executes the CXK-means protocol for this peer until
 // convergence, MaxRounds, ctx cancellation or a protocol failure. Errors
-// are *SessionError values wrapping the typed causes of phase.go.
+// are *SessionError values wrapping the typed causes of phase.go;
+// cancellation surfaces as ErrCanceled, observed at phase boundaries,
+// blocking receives and between relocation passes.
 func (p *Peer) RunSession(ctx context.Context) (*SessionResult, error) {
 	s := newSession(p)
 	for s.phase != PhaseDone {
+		from := s.phase
 		if err := s.step(ctx); err != nil {
 			return nil, &SessionError{Peer: p.cfg.ID, Round: s.round, Phase: s.phase, Err: err}
 		}
+		if s.phase != from {
+			s.emit(EventPhaseChange, s.round, 0)
+		}
 	}
+	s.emit(EventDone, s.rounds, s.objective)
 	return s.result(), nil
 }
 
@@ -158,7 +170,12 @@ type session struct {
 	p        *Peer
 	phase    Phase
 	round    int
+	t0       time.Time // session start, for Event.Elapsed
 	deadline time.Time // armed at every blocking-receive phase entry
+
+	// objective is the peer's local clustering objective after the latest
+	// relocation pass; maintained only when an Observer is configured.
+	objective float64
 
 	// Protocol state (Fig. 5 notation in the comments of peer fields).
 	k          int
@@ -198,6 +215,7 @@ func newSession(p *Peer) *session {
 	return &session{
 		p:          p,
 		phase:      PhaseStartup,
+		t0:         time.Now(),
 		m:          p.cfg.Transport.Peers(),
 		seenStates: map[uint64]struct{}{},
 		pendGlobal: map[int][]GlobalRepsMsg{},
@@ -205,9 +223,32 @@ func newSession(p *Peer) *session {
 	}
 }
 
+// emit publishes a progress event when an observer is configured.
+func (s *session) emit(kind EventKind, round int, objective float64) {
+	obs := s.p.cfg.Observer
+	if obs == nil {
+		return
+	}
+	sm, sb, rm, rb := s.report.TrafficTotals()
+	obs(Event{
+		Kind: kind, Peer: s.p.cfg.ID, Round: round, Phase: s.phase,
+		Objective: objective,
+		SentMsgs:  sm, SentBytes: sb, RecvMsgs: rm, RecvBytes: rb,
+		Elapsed: time.Since(s.t0),
+	})
+}
+
 // step executes the current phase. Phase methods mutate s.phase to advance
-// the state machine.
+// the state machine. Cancellation is observed here at every phase edge, so
+// an aborted session always stops on a clean protocol boundary.
 func (s *session) step(ctx context.Context) error {
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+		default:
+		}
+	}
 	switch s.phase {
 	case PhaseStartup:
 		return s.startup(ctx)
@@ -288,6 +329,7 @@ awaitStart:
 func (s *session) broadcastGlobals(ctx context.Context) error {
 	s.rounds = s.round + 1
 	s.growRound(s.round)
+	s.emit(EventRoundStart, s.round, 0)
 
 	own := map[int]WireTxn{}
 	for _, j := range s.zi {
@@ -319,13 +361,20 @@ func (s *session) broadcastGlobals(ctx context.Context) error {
 
 // relocate is protocol phase 2: the local relocation loop against the fixed
 // globals, followed by the local representative of every non-empty cluster.
+// The relocation passes are cancellable: ctx is checked between passes and
+// inside the parallel fork-join, so a canceled session aborts the compute
+// section without finishing the corpus scan.
 func (s *session) relocate(ctx context.Context) error {
-	_ = ctx // pure local compute; cancellation is observed at the next receive
 	cfg := &s.p.cfg
 	repCfg := cluster.RepConfig{Ctx: cfg.Ctx, Rule: cfg.Rule, Workers: cfg.Workers}
+	var relocErr error
 	s.compute(s.round, func() {
 		for {
-			assign := cluster.RelocateWorkers(cfg.Ctx, cfg.Local, s.global, cfg.Workers)
+			assign, err := cluster.RelocateCtx(ctx, cfg.Ctx, cfg.Local, s.global, cfg.Workers)
+			if err != nil {
+				relocErr = fmt.Errorf("%w: %w", ErrCanceled, err)
+				return
+			}
 			if intsEqual(assign, s.assign) {
 				break
 			}
@@ -346,6 +395,15 @@ func (s *session) relocate(ctx context.Context) error {
 			s.newLocalRp[j] = cluster.ComputeLocalRepresentative(repCfg, members[j])
 		}
 	})
+	if relocErr != nil {
+		return relocErr
+	}
+	if cfg.Observer != nil {
+		// Outside the compute section on purpose: the per-round objective
+		// is instrumentation and must not inflate ComputeByRound (and with
+		// it the paper's SimulatedTime metric).
+		s.objective = cluster.SSE(cfg.Ctx, cfg.Local, s.assign, s.global)
+	}
 	s.changed = !repSliceEqual(s.newLocalRp, s.localRp)
 	copy(s.localRp, s.newLocalRp)
 	if s.changed {
@@ -405,8 +463,10 @@ func (s *session) exchangeLocals(ctx context.Context) error {
 		s.bySender[msg.From] = msg.Reps
 		received++
 	}
+	s.emit(EventRepsExchanged, s.round, 0)
 
 	if !s.anyContinue {
+		s.emit(EventRoundEnd, s.round, s.objective)
 		s.phase = PhaseDone // V_1 = … = V_m = done
 		return nil
 	}
@@ -444,6 +504,7 @@ func (s *session) refineGlobals(ctx context.Context) error {
 		}
 	})
 	s.bySender = nil
+	s.emit(EventRoundEnd, s.round, s.objective)
 	s.round++
 	if s.round >= s.p.cfg.MaxRounds {
 		s.phase = PhaseDone
@@ -513,7 +574,7 @@ func (s *session) recvEnvelope(ctx context.Context) (p2p.Envelope, error) {
 		}
 		return env, nil
 	case <-ctxDone:
-		return p2p.Envelope{}, ctx.Err()
+		return p2p.Envelope{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
 	case <-timerC:
 		return p2p.Envelope{}, ErrRoundDeadline
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"xmlclust/internal/eval"
@@ -18,7 +19,7 @@ func TestChanVsTCPEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
-		tcpRes, err := Run(cx, corpus, Options{
+		tcpRes, err := Run(context.Background(), cx, corpus, Options{
 			K: 2, Params: cx.Params, Peers: 3,
 			Partition: EqualPartition(len(corpus.Transactions), 3, seed),
 			Seed:      seed, Transport: tr,

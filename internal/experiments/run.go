@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -136,8 +137,18 @@ func ClearCorpusCache() {
 	corpusMu.Unlock()
 }
 
-// Execute runs one clustering experiment.
+// Execute runs one clustering experiment on a background context.
 func Execute(spec RunSpec) (RunResult, error) {
+	return ExecuteCtx(context.Background(), spec)
+}
+
+// ExecuteCtx runs one clustering experiment; ctx cancels it at the next
+// safe boundary of the underlying engines. Every run gets a fresh, COLD
+// similarity context on purpose: the drivers calibrate timing curves
+// (Fig. 7, the cost model) against measured per-round compute, so warm
+// caches carried across runs would make points incomparable. Warm-cache
+// reuse across runs belongs to the public Engine, not this harness.
+func ExecuteCtx(ctx context.Context, spec RunSpec) (RunResult, error) {
 	pc, err := prepare(spec)
 	if err != nil {
 		return RunResult{}, err
@@ -160,13 +171,13 @@ func Execute(spec RunSpec) (RunResult, error) {
 	var res *core.Result
 	switch spec.Algorithm {
 	case PK:
-		res, err = pkmeans.Run(cx, pc.corpus, pkmeans.Options{
+		res, err = pkmeans.Run(ctx, cx, pc.corpus, pkmeans.Options{
 			K: k, Params: cx.Params, Peers: spec.Peers, Partition: part,
 			Seed: spec.Seed, Rule: spec.Rule, Workers: spec.Workers,
 			SerializeCompute: true,
 		})
 	default:
-		res, err = core.Run(cx, pc.corpus, core.Options{
+		res, err = core.Run(ctx, cx, pc.corpus, core.Options{
 			K: k, Params: cx.Params, Peers: spec.Peers, Partition: part,
 			Seed: spec.Seed, Rule: spec.Rule, Workers: spec.Workers,
 			SerializeCompute: true,

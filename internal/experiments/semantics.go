@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -50,7 +51,7 @@ func SemanticsAblation(scale Scale, seed int64) ([]SemanticsPoint, error) {
 		cx.TagSim = mt.m
 		bestF, bestTrash := -1.0, 0.0
 		for s := seed; s < seed+3; s++ {
-			res, err := core.Run(cx, corpus, core.Options{
+			res, err := core.Run(context.Background(), cx, corpus, core.Options{
 				K: k, Params: cx.Params, Peers: 1, Workers: scale.Workers,
 				Partition: core.EqualPartition(len(corpus.Transactions), 1, s),
 				Seed:      s, Rule: cluster.ReturnBestObjective,

@@ -13,6 +13,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,62 @@ func For(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with cooperative cancellation: before drawing each index,
+// workers (and the inline serial path) check ctx and stop scheduling new
+// work once it is done, then return ctx's error. Indices already in flight
+// run to completion, so fn never races with the return; on a non-nil error
+// the output slots are incomplete and the caller must discard them. A nil
+// ctx (or one that can never be canceled) degenerates to For.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		For(workers, n, fn)
+		return nil
+	}
+	done := ctx.Done()
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var canceled atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					canceled.Store(true)
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if canceled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Sum evaluates fn(i) for every i in [0,n) across workers and returns

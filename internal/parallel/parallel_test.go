@@ -1,10 +1,54 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
 )
+
+func TestForCtxNilAndBackground(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		var n atomic.Int64
+		if err := ForCtx(ctx, 4, 100, func(i int) { n.Add(1) }); err != nil {
+			t.Fatalf("uncancelable ctx returned %v", err)
+		}
+		if n.Load() != 100 {
+			t.Fatalf("ran %d of 100 indices", n.Load())
+		}
+	}
+}
+
+func TestForCtxCancelStopsEarly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var n atomic.Int64
+		err := ForCtx(ctx, workers, 10000, func(i int) {
+			if n.Add(1) == 10 {
+				cancel()
+			}
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: canceled run returned nil", workers)
+		}
+		if got := n.Load(); got >= 10000 {
+			t.Errorf("workers=%d: cancellation did not stop the loop (%d ran)", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestForCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var n atomic.Int64
+	if err := ForCtx(ctx, 4, 100, func(i int) { n.Add(1) }); err == nil {
+		t.Fatal("pre-canceled ctx returned nil")
+	}
+	if n.Load() != 0 {
+		t.Errorf("pre-canceled run still executed %d indices", n.Load())
+	}
+}
 
 func TestResolve(t *testing.T) {
 	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {

@@ -15,6 +15,7 @@
 package pkmeans
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -60,6 +61,12 @@ type Options struct {
 	SerializeCompute bool
 	// SSEEpsilon is the stop threshold on the global SSE change.
 	SSEEpsilon float64
+	// Observer, when non-nil, receives round-boundary progress events
+	// (RoundStart/RoundEnd with the peer's local SSE as the objective,
+	// peer-level Done, and one run-level Done with Peer == -1). PK-means
+	// has no phase machine, so no PhaseChange events are emitted. Must be
+	// safe for concurrent calls.
+	Observer core.Observer
 }
 
 // DefaultSSEEpsilon stops the iteration when the global SSE moves less
@@ -68,7 +75,10 @@ const DefaultSSEEpsilon = 1e-9
 
 // Run executes PK-means and returns a core.Result (same accounting shape
 // as CXK-means so the experiment harness can compare them directly).
-func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*core.Result, error) {
+// Cancellation of ctx aborts every peer at its next round boundary or
+// blocking receive and Run returns an error wrapping core.ErrCanceled; a
+// nil ctx never cancels.
+func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options) (*core.Result, error) {
 	m := opts.Peers
 	if m <= 0 {
 		return nil, fmt.Errorf("pkmeans: need at least one peer, got %d", m)
@@ -110,7 +120,8 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*core.Result, error
 			transport: transport, sizer: sizer(corpus.Items),
 			k: opts.K, maxRounds: maxRounds, seed: opts.Seed + int64(i),
 			rule: opts.Rule, workers: opts.Workers, eps: eps, computeToken: computeToken,
-			zi: core.ResponsibilityPartition(opts.K, m)[i],
+			zi:       core.ResponsibilityPartition(opts.K, m)[i],
+			observer: opts.Observer,
 		}
 	}
 
@@ -121,7 +132,7 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*core.Result, error
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = peers[i].run()
+			errs[i] = peers[i].run(ctx)
 		}(i)
 	}
 	wg.Wait()
@@ -149,6 +160,13 @@ func Run(cx *sim.Context, corpus *txn.Corpus, opts Options) (*core.Result, error
 		for localIdx, a := range p.assign {
 			res.Assign[p.globalIdx[localIdx]] = a
 		}
+	}
+	if opts.Observer != nil {
+		msgs, bytes := res.TotalTraffic()
+		opts.Observer(core.Event{
+			Kind: core.EventDone, Peer: -1, Round: res.Rounds, Phase: core.PhaseDone,
+			SentMsgs: msgs, SentBytes: bytes, Elapsed: wall,
+		})
 	}
 	return res, nil
 }
@@ -185,6 +203,9 @@ type peer struct {
 	eps          float64
 	computeToken chan struct{}
 
+	observer core.Observer
+	t0       time.Time
+
 	global  []*txn.Transaction
 	assign  []int
 	rounds  int
@@ -192,7 +213,34 @@ type peer struct {
 	pending map[int][]RepsMsg
 }
 
-func (p *peer) run() error {
+// emit publishes a progress event when an observer is configured.
+func (p *peer) emit(kind core.EventKind, round int, objective float64) {
+	if p.observer == nil {
+		return
+	}
+	sm, sb, rm, rb := p.report.TrafficTotals()
+	p.observer(core.Event{
+		Kind: kind, Peer: p.id, Round: round, Objective: objective,
+		SentMsgs: sm, SentBytes: sb, RecvMsgs: rm, RecvBytes: rb,
+		Elapsed: time.Since(p.t0),
+	})
+}
+
+// canceled reports a done ctx as a core.ErrCanceled-wrapping error.
+func canceled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", core.ErrCanceled, ctx.Err())
+	default:
+		return nil
+	}
+}
+
+func (p *peer) run(ctx context.Context) error {
+	p.t0 = time.Now()
 	m := p.transport.Peers()
 	p.pending = map[int][]RepsMsg{}
 	p.global = make([]*txn.Transaction, p.k)
@@ -219,7 +267,7 @@ func (p *peer) run() error {
 		p.send(0, h, RepsMsg{From: p.id, Round: 0, Reps: initial, Initial: true})
 	}
 	for received := 0; received < m-1; {
-		msg, err := p.next(0)
+		msg, err := p.next(ctx, 0)
 		if err != nil {
 			return err
 		}
@@ -239,8 +287,14 @@ func (p *peer) run() error {
 	// CXK peer's state fingerprinting).
 	seenSSE := map[uint64]struct{}{}
 	for round := 1; round <= p.maxRounds; round++ {
+		if err := canceled(ctx); err != nil {
+			return err // clean round-boundary abort
+		}
 		p.rounds = round + 1 // rounds counts the seeding round too
 		p.growRound(round)
+		// Event.Round is 0-based (see core.Event); the local round counter
+		// is 1-based because round 0 is the seeding exchange.
+		p.emit(core.EventRoundStart, round-1, 0)
 
 		// Local K-means step against the shared centers.
 		var localReps map[int]core.WeightedWireRep
@@ -282,7 +336,7 @@ func (p *peer) run() error {
 		sseBy[p.id] = localSSE
 		repsBy[p.id] = localReps
 		for received := 0; received < m-1; {
-			msg, err := p.next(round)
+			msg, err := p.next(ctx, round)
 			if err != nil {
 				return err
 			}
@@ -311,6 +365,8 @@ func (p *peer) run() error {
 			}
 		})
 
+		p.emit(core.EventRoundEnd, round-1, localSSE)
+
 		if math.Abs(globalSSE-prevSSE) <= p.eps {
 			break
 		}
@@ -321,6 +377,7 @@ func (p *peer) run() error {
 		seenSSE[bits] = struct{}{}
 		prevSSE = globalSSE
 	}
+	p.emit(core.EventDone, p.rounds, 0)
 	return nil
 }
 
@@ -353,13 +410,27 @@ func (p *peer) send(round, to int, payload any) {
 	p.report.SentBytesByRound[round] += p.sizer(payload)
 }
 
-func (p *peer) next(round int) (RepsMsg, error) {
+func (p *peer) next(ctx context.Context, round int) (RepsMsg, error) {
 	if q := p.pending[round]; len(q) > 0 {
 		msg := q[0]
 		p.pending[round] = q[1:]
 		return msg, nil
 	}
-	for env := range p.transport.Recv(p.id) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	for {
+		var env p2p.Envelope
+		select {
+		case e, ok := <-p.transport.Recv(p.id):
+			if !ok {
+				return RepsMsg{}, fmt.Errorf("transport closed while awaiting reps")
+			}
+			env = e
+		case <-ctxDone:
+			return RepsMsg{}, fmt.Errorf("%w: %w", core.ErrCanceled, ctx.Err())
+		}
 		msg, ok := env.Payload.(RepsMsg)
 		if !ok {
 			return RepsMsg{}, fmt.Errorf("unexpected message %T", env.Payload)
@@ -372,7 +443,6 @@ func (p *peer) next(round int) (RepsMsg, error) {
 		}
 		p.pending[msg.Round] = append(p.pending[msg.Round], msg)
 	}
-	return RepsMsg{}, fmt.Errorf("transport closed while awaiting reps")
 }
 
 func wireOf(tr *txn.Transaction) core.WireTxn {

@@ -1,6 +1,7 @@
 package pkmeans
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -55,7 +56,7 @@ func miniCorpus(t testing.TB, perGroup int) (*txn.Corpus, []int) {
 func runPK(t testing.TB, corpus *txn.Corpus, k, m int, seed int64) *core.Result {
 	t.Helper()
 	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
-	res, err := Run(cx, corpus, Options{
+	res, err := Run(context.Background(), cx, corpus, Options{
 		K: k, Params: cx.Params, Peers: m,
 		Partition: core.EqualPartition(len(corpus.Transactions), m, seed),
 		Seed:      seed,
@@ -124,7 +125,7 @@ func TestPKTrafficExceedsCXK(t *testing.T) {
 	corpus, _ := miniCorpus(t, 10)
 	m := 5
 	cxPK := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
-	pk, err := Run(cxPK, corpus, Options{
+	pk, err := Run(context.Background(), cxPK, corpus, Options{
 		K: 2, Params: cxPK.Params, Peers: m,
 		Partition: core.EqualPartition(len(corpus.Transactions), m, 3),
 		Seed:      3,
@@ -133,7 +134,7 @@ func TestPKTrafficExceedsCXK(t *testing.T) {
 		t.Fatal(err)
 	}
 	cxCXK := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
-	cxk, err := core.Run(cxCXK, corpus, core.Options{
+	cxk, err := core.Run(context.Background(), cxCXK, corpus, core.Options{
 		K: 2, Params: cxCXK.Params, Peers: m,
 		Partition: core.EqualPartition(len(corpus.Transactions), m, 3),
 		Seed:      3,
@@ -153,13 +154,13 @@ func TestPKTrafficExceedsCXK(t *testing.T) {
 func TestPKValidation(t *testing.T) {
 	corpus, _ := miniCorpus(t, 2)
 	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
-	if _, err := Run(cx, corpus, Options{K: 2, Peers: 0}); err == nil {
+	if _, err := Run(context.Background(), cx, corpus, Options{K: 2, Peers: 0}); err == nil {
 		t.Error("peers=0 should fail")
 	}
-	if _, err := Run(cx, corpus, Options{K: 0, Peers: 1}); err == nil {
+	if _, err := Run(context.Background(), cx, corpus, Options{K: 0, Peers: 1}); err == nil {
 		t.Error("k=0 should fail")
 	}
-	if _, err := Run(cx, corpus, Options{K: 2, Peers: 3, Partition: make([][]int, 2)}); err == nil {
+	if _, err := Run(context.Background(), cx, corpus, Options{K: 2, Peers: 3, Partition: make([][]int, 2)}); err == nil {
 		t.Error("partition mismatch should fail")
 	}
 }
@@ -211,7 +212,7 @@ func TestPKWorkersEquivalence(t *testing.T) {
 	corpus, _ := miniCorpus(t, 8)
 	cx := sim.NewContext(corpus, sim.Params{F: 0.5, Gamma: 0.6})
 	run := func(workers int) *core.Result {
-		res, err := Run(cx, corpus, Options{
+		res, err := Run(context.Background(), cx, corpus, Options{
 			K: 2, Params: cx.Params, Peers: 3, Workers: workers,
 			Partition: core.EqualPartition(len(corpus.Transactions), 3, 7),
 			Seed:      7,

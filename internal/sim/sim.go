@@ -36,11 +36,12 @@ type Params struct {
 // Counters tracks how much similarity work was performed; used by the
 // complexity experiments. All fields are updated atomically.
 type Counters struct {
-	ItemSims    atomic.Int64 // calls to Item (Eq. 1)
-	PathSims    atomic.Int64 // structural path alignments actually computed
-	TxnSims     atomic.Int64 // calls to Transactions (Eq. 4)
-	CacheHits   atomic.Int64 // path-pair cache hits
-	CacheMisses atomic.Int64
+	ItemSims      atomic.Int64 // calls to Item (Eq. 1)
+	PathSims      atomic.Int64 // structural path alignments actually computed
+	TxnSims       atomic.Int64 // calls to Transactions (Eq. 4)
+	CacheHits     atomic.Int64 // path-pair cache hits
+	CacheMisses   atomic.Int64
+	ItemCacheHits atomic.Int64 // item-pair cache hits (engine contexts only)
 }
 
 // Context evaluates similarities for one corpus under fixed Params.
@@ -62,7 +63,19 @@ type Context struct {
 	// sketched in Sect. 4.1.1/Sect. 6 of the paper.
 	TagSim semantics.TagSimilarity
 
-	shards [cacheShards]cacheShard
+	// ItemCache, when non-nil, memoizes Eq. 1 item-pair similarities for
+	// this context. Items are interned content-addressed, so the cached
+	// value is a pure function of (pair, Params, TagSim) and results stay
+	// byte-identical with the cache on or off. Unlike the structural
+	// PathCache it must NOT be shared between contexts with different
+	// Params — Eq. 1 folds f and the γ threshold sits on top of it — which
+	// is why the engine keys its context cache by Params. Off by default:
+	// the paper-reproduction experiments count raw Eq. 1 evaluations and a
+	// memo layer would change the measured complexity profile. Set it
+	// before the context is used concurrently.
+	ItemCache *ItemSimCache
+
+	cache *PathCache
 }
 
 type pathPair struct{ a, b xmltree.PathID }
@@ -80,6 +93,55 @@ type cacheShard struct {
 	m  map[pathPair]float64
 }
 
+// PathCache is the sharded store of Eq. 3 tag-path pair similarities — the
+// precomputation Sect. 4.3.2 identifies as the key optimization. The cached
+// values depend only on the tag paths and the Δ function, never on (f, γ),
+// so one PathCache can be shared by every Context over the same PathTable
+// and TagSim: a parameter sweep then pays the structural alignments once
+// and every subsequent cell runs against a warm cache.
+//
+// A PathCache is safe for concurrent use. It must NOT be shared between
+// contexts whose TagSim differs (the cached values would disagree).
+type PathCache struct {
+	shards [cacheShards]cacheShard
+}
+
+// NewPathCache creates an empty tag-path pair cache.
+func NewPathCache() *PathCache {
+	pc := &PathCache{}
+	for i := range pc.shards {
+		pc.shards[i].m = make(map[pathPair]float64)
+	}
+	return pc
+}
+
+// Len returns the number of cached pair similarities.
+func (pc *PathCache) Len() int {
+	n := 0
+	for i := range pc.shards {
+		sh := &pc.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+func (pc *PathCache) lookup(key pathPair) (float64, bool) {
+	sh := &pc.shards[shardOf(key)]
+	sh.mu.RLock()
+	s, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+func (pc *PathCache) store(key pathPair, s float64) {
+	sh := &pc.shards[shardOf(key)]
+	sh.mu.Lock()
+	sh.m[key] = s
+	sh.mu.Unlock()
+}
+
 // shardOf hashes a pair onto its shard (multiplicative mixing of the two
 // interned ids; the pair is already ordered by the caller).
 func shardOf(key pathPair) uint32 {
@@ -88,32 +150,148 @@ func shardOf(key pathPair) uint32 {
 	return h & (cacheShards - 1)
 }
 
-// NewContext builds a similarity context over a corpus.
-func NewContext(c *txn.Corpus, p Params) *Context {
-	cx := &Context{
-		Params:   p,
-		Items:    c.Items,
-		Paths:    c.Paths,
-		UseCache: true,
-		TagSim:   semantics.Exact{},
+// itemPair packs an ordered item-id pair into one map key (ids are int32,
+// so the pair fits a uint64 exactly; uint64 keys hash measurably faster
+// than structs on the memo's hot path).
+type itemPair uint64
+
+func packItemPair(a, b txn.ItemID) itemPair {
+	if b < a {
+		a, b = b, a
 	}
-	for i := range cx.shards {
-		cx.shards[i].m = make(map[pathPair]float64)
-	}
-	return cx
+	return itemPair(uint64(uint32(a))<<32 | uint64(uint32(b)))
 }
 
-// CacheLen returns the number of cached tag-path pair similarities.
-func (cx *Context) CacheLen() int {
+// itemShard is one lock-striped slice of an ItemSimCache.
+type itemShard struct {
+	mu sync.RWMutex
+	m  map[itemPair]float64
+}
+
+// ItemSimCache is a bounded, sharded memo of Eq. 1 item-pair similarities.
+// It is the layer above PathCache: one entry saves the content cosine, the
+// structural lookup and the f-mix for a pair that recurs — and γ-matching
+// recomputes the same pairs every relocation pass, every round, every run.
+// The size cap bounds worst-case memory on huge item domains: once the
+// capacity is exhausted, further pairs are computed but not stored
+// (results do not change, only the hit rate). Because one memo is only
+// valid for one Params value, an engine holding many (F, Gamma) contexts
+// shares a single entry budget across all of their memos via
+// NewItemSimCacheShared — the aggregate footprint stays bounded no matter
+// how large the parameter grid grows.
+type ItemSimCache struct {
+	perShard int
+	budget   *atomic.Int64 // shared remaining-entry budget; nil = per-shard cap only
+	shards   [cacheShards]itemShard
+}
+
+// DefaultItemCachePairs is the default total capacity of an ItemSimCache
+// (≈ 24 MB of map payload at float64 values).
+const DefaultItemCachePairs = 1 << 20
+
+// NewItemSimCache creates an item-pair cache holding at most maxPairs
+// entries (0 or negative = DefaultItemCachePairs).
+func NewItemSimCache(maxPairs int) *ItemSimCache {
+	if maxPairs <= 0 {
+		maxPairs = DefaultItemCachePairs
+	}
+	per := maxPairs / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &ItemSimCache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[itemPair]float64)
+	}
+	return c
+}
+
+// NewItemSimCacheShared creates an item-pair cache whose stores draw from
+// a shared remaining-entry budget: caches over many Params values then
+// compete for one aggregate capacity instead of multiplying it. The
+// budget must be initialized to the total number of entries allowed
+// across every cache sharing it.
+func NewItemSimCacheShared(budget *atomic.Int64) *ItemSimCache {
+	c := &ItemSimCache{perShard: int(^uint(0) >> 1), budget: budget}
+	for i := range c.shards {
+		c.shards[i].m = make(map[itemPair]float64)
+	}
+	return c
+}
+
+// Len returns the number of cached pair similarities.
+func (c *ItemSimCache) Len() int {
 	n := 0
-	for i := range cx.shards {
-		sh := &cx.shards[i]
+	for i := range c.shards {
+		sh := &c.shards[i]
 		sh.mu.RLock()
 		n += len(sh.m)
 		sh.mu.RUnlock()
 	}
 	return n
 }
+
+func itemShardOf(key itemPair) uint32 {
+	h := uint32(key>>32)*0x9e3779b1 ^ uint32(key)*0x85ebca77
+	h ^= h >> 16
+	return h & (cacheShards - 1)
+}
+
+func (c *ItemSimCache) lookup(key itemPair) (float64, bool) {
+	sh := &c.shards[itemShardOf(key)]
+	sh.mu.RLock()
+	s, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+func (c *ItemSimCache) store(key itemPair, s float64) {
+	if c.budget != nil && c.budget.Add(-1) < 0 {
+		c.budget.Add(1)
+		return
+	}
+	sh := &c.shards[itemShardOf(key)]
+	sh.mu.Lock()
+	_, dup := sh.m[key]
+	stored := !dup && len(sh.m) < c.perShard
+	if stored {
+		sh.m[key] = s
+	}
+	sh.mu.Unlock()
+	if !stored && c.budget != nil {
+		c.budget.Add(1) // refund: duplicate or full shard consumed no entry
+	}
+}
+
+// NewContext builds a similarity context over a corpus with a private
+// tag-path pair cache.
+func NewContext(c *txn.Corpus, p Params) *Context {
+	return NewContextShared(c, p, nil)
+}
+
+// NewContextShared builds a similarity context that consults the given
+// shared PathCache (nil allocates a private one). Contexts with different
+// Params may share a cache — the structural pair similarities are
+// independent of (f, γ) — as long as they agree on TagSim.
+func NewContextShared(c *txn.Corpus, p Params, cache *PathCache) *Context {
+	if cache == nil {
+		cache = NewPathCache()
+	}
+	return &Context{
+		Params:   p,
+		Items:    c.Items,
+		Paths:    c.Paths,
+		UseCache: true,
+		TagSim:   semantics.Exact{},
+		cache:    cache,
+	}
+}
+
+// Cache exposes the context's tag-path pair cache (shared or private).
+func (cx *Context) Cache() *PathCache { return cx.cache }
+
+// CacheLen returns the number of cached tag-path pair similarities.
+func (cx *Context) CacheLen() int { return cx.cache.Len() }
 
 // Structural returns simS between two items (Eq. 3), comparing their tag
 // paths. The result is symmetric and lies in [0,1].
@@ -131,13 +309,8 @@ func (cx *Context) TagPathSim(pa, pb xmltree.PathID) float64 {
 	if pb < pa {
 		key = pathPair{pb, pa}
 	}
-	var sh *cacheShard
 	if cx.UseCache {
-		sh = &cx.shards[shardOf(key)]
-		sh.mu.RLock()
-		s, ok := sh.m[key]
-		sh.mu.RUnlock()
-		if ok {
+		if s, ok := cx.cache.lookup(key); ok {
 			cx.Counters.CacheHits.Add(1)
 			return s
 		}
@@ -145,10 +318,8 @@ func (cx *Context) TagPathSim(pa, pb xmltree.PathID) float64 {
 	}
 	s := PathSimWith(cx.Paths.Path(pa), cx.Paths.Path(pb), cx.TagSim)
 	cx.Counters.PathSims.Add(1)
-	if sh != nil {
-		sh.mu.Lock()
-		sh.m[key] = s
-		sh.mu.Unlock()
+	if cx.UseCache {
+		cx.cache.store(key, s)
 	}
 	return s
 }
@@ -211,9 +382,20 @@ func (cx *Context) Content(a, b *txn.Item) float64 {
 	return vector.Cosine(a.Vector, b.Vector)
 }
 
-// Item returns sim(ei, ej) = f·simS + (1−f)·simC (Eq. 1).
+// Item returns sim(ei, ej) = f·simS + (1−f)·simC (Eq. 1), consulting the
+// optional item-pair memo first. Counters.ItemSims counts calls either way
+// (it measures the algorithm's demand, not the cache's effectiveness —
+// that is Counters.ItemCacheHits).
 func (cx *Context) Item(a, b *txn.Item) float64 {
 	cx.Counters.ItemSims.Add(1)
+	var key itemPair
+	if cx.ItemCache != nil {
+		key = packItemPair(a.ID, b.ID)
+		if s, ok := cx.ItemCache.lookup(key); ok {
+			cx.Counters.ItemCacheHits.Add(1)
+			return s
+		}
+	}
 	f := cx.Params.F
 	s := 0.0
 	if f > 0 {
@@ -221,6 +403,9 @@ func (cx *Context) Item(a, b *txn.Item) float64 {
 	}
 	if f < 1 {
 		s += (1 - f) * cx.Content(a, b)
+	}
+	if cx.ItemCache != nil {
+		cx.ItemCache.store(key, s)
 	}
 	return s
 }

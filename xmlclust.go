@@ -11,14 +11,37 @@
 // peer of a P2P network clusters its local data and exchanges cluster
 // representatives to converge on a global solution collaboratively.
 //
-// Quick start (streaming; a directory, tar[.gz] archive or single file):
+// # Engine and jobs
 //
-//	src, err := xmlclust.OpenSource("corpus/")
+// The clustering surface is the Engine: a reusable handle bound to one
+// corpus that owns the interning tables and a params-keyed similarity
+// cache. Jobs run on it with a context (cancellation aborts at clean round
+// boundaries with ErrCanceled) and can stream progress events:
+//
+//	src, err := xmlclust.OpenSource("corpus/")       // dir, tar[.gz] or file
 //	corpus, stats, err := xmlclust.BuildCorpusFromSource(src, xmlclust.CorpusOptions{})
-//	res, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
+//	eng, err := xmlclust.NewEngine(corpus, xmlclust.EngineOptions{})
+//	res, err := eng.Cluster(ctx, xmlclust.ClusterOptions{
 //		K: 8, F: 0.5, Gamma: 0.7, Peers: 4,
+//		Events: func(ev xmlclust.Event) { ... }, // rounds, objective, traffic
 //	})
 //	for i, cl := range res.Assign { ... }
+//
+// Because the structural tag-path similarities of Eq. 3 are independent of
+// (f, γ), every job on one Engine shares a single warm structural cache;
+// parameter sweeps — the paper's evaluation protocol — fan a whole grid
+// over it with Engine.Sweep:
+//
+//	cells, err := eng.Sweep(ctx, xmlclust.SweepSpec{
+//		Base:   xmlclust.ClusterOptions{K: 8, Seed: 1},
+//		Fs:     []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+//		Gammas: []float64{0.6, 0.7, 0.8},
+//	})
+//
+// The deprecated free functions Cluster and ClusterDistributed remain as
+// thin wrappers over a throwaway Engine and produce byte-identical results.
+//
+// # Ingestion
 //
 // Ingestion is a bounded-memory pipeline: documents stream out of the
 // Source through parallel parse/extract workers into an index-ordered
@@ -37,17 +60,12 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"net"
 	"os"
 	"time"
 
 	"xmlclust/internal/cluster"
-	"xmlclust/internal/core"
 	"xmlclust/internal/corpus"
 	"xmlclust/internal/eval"
-	"xmlclust/internal/p2p"
-	"xmlclust/internal/pkmeans"
-	"xmlclust/internal/sim"
 	"xmlclust/internal/tuple"
 	"xmlclust/internal/txn"
 	"xmlclust/internal/weighting"
@@ -270,6 +288,14 @@ type ClusterOptions struct {
 	// a peer that waits longer fails the run instead of hanging on a dead
 	// neighbour. 0 disables the deadline (the in-process default).
 	RoundTimeout time.Duration
+	// Events, when non-nil, receives typed progress events while the job
+	// runs: per-peer RoundStart/RoundEnd (with the peer's local objective),
+	// PhaseChange and RepsExchanged, plus one run-level Done (Peer == -1)
+	// with the final round count, total traffic and elapsed time. Calls are
+	// serialized — the callback never runs concurrently with itself — but
+	// arrive from the job's goroutines, not the caller's. Enabling events
+	// adds one objective evaluation per peer round.
+	Events func(Event)
 }
 
 // Result is a clustering outcome.
@@ -293,63 +319,20 @@ type Result struct {
 	K int
 }
 
-// Cluster runs the distributed clustering pipeline on a corpus.
+// Cluster runs one clustering job on a throwaway Engine and blocks until
+// it completes. The result is byte-identical to Engine.Cluster with the
+// same options and seed.
+//
+// Deprecated: build an Engine with NewEngine and call Engine.Cluster. A
+// shared Engine reuses the similarity caches across runs (sweeps get
+// measurably faster) and takes a context.Context for cancellation; this
+// wrapper rebuilds everything per call and cannot be canceled.
 func Cluster(corpus *Corpus, opts ClusterOptions) (*Result, error) {
-	if opts.K <= 0 {
-		return nil, fmt.Errorf("xmlclust: K must be ≥ 1")
-	}
-	peers := opts.Peers
-	if peers <= 0 {
-		peers = 1
-	}
-	cx := sim.NewContext(corpus, sim.Params{F: opts.F, Gamma: opts.Gamma})
-	n := len(corpus.Transactions)
-	var part [][]int
-	if opts.UnequalSplit {
-		part = core.UnequalPartition(n, peers, opts.Seed)
-	} else {
-		part = core.EqualPartition(n, peers, opts.Seed)
-	}
-	var transport p2p.Transport
-	if opts.UseTCP {
-		t, err := p2p.NewTCPTransport(peers)
-		if err != nil {
-			return nil, err
-		}
-		defer t.Close()
-		transport = t
-	}
-
-	var res *core.Result
-	var err error
-	switch opts.Algorithm {
-	case PKMeans:
-		res, err = pkmeans.Run(cx, corpus, pkmeans.Options{
-			K: opts.K, Params: cx.Params, Peers: peers, Partition: part,
-			Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: transport,
-			Workers: opts.Workers,
-		})
-	default:
-		res, err = core.Run(cx, corpus, core.Options{
-			K: opts.K, Params: cx.Params, Peers: peers, Partition: part,
-			Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: transport,
-			Workers: opts.Workers, RoundTimeout: opts.RoundTimeout,
-		})
-	}
+	eng, err := NewEngine(corpus, EngineOptions{})
 	if err != nil {
 		return nil, err
 	}
-	msgs, bytes := res.TotalTraffic()
-	return &Result{
-		Assign:        res.Assign,
-		Reps:          res.Reps,
-		Rounds:        res.Rounds,
-		WallTime:      res.WallTime,
-		SimulatedTime: res.SimulatedTime(p2p.DefaultTimeModel()),
-		TrafficBytes:  bytes,
-		TrafficMsgs:   msgs,
-		K:             opts.K,
-	}, nil
+	return eng.Cluster(context.Background(), opts)
 }
 
 // DefaultRoundTimeout is the per-round receive deadline distributed peer
@@ -399,6 +382,9 @@ type DistributedOptions struct {
 	// DialTimeout bounds how long sends wait for a peer's listener to come
 	// up (0 = p2p default; peers boot independently).
 	DialTimeout time.Duration
+	// Events, when non-nil, receives this peer's progress events (see
+	// ClusterOptions.Events; distributed runs emit only peer-level events).
+	Events func(Event)
 }
 
 // DistributedResult is the outcome of one peer process.
@@ -418,68 +404,19 @@ type DistributedResult struct {
 	WallTime time.Duration
 }
 
-// ClusterDistributed runs ONE peer of a multi-process CXK-means cluster:
-// it listens on this peer's address, dials the others through the shared
-// address table and executes the session engine over the real wire. Launch
-// one process per entry of PeerAddrs (see cmd/cxkpeer); the coordinator's
-// result carries the assembled corpus-wide assignment.
+// ClusterDistributed runs ONE peer of a multi-process CXK-means cluster on
+// a throwaway Engine (see Engine.ClusterDistributed and cmd/cxkpeer).
+//
+// Deprecated: build an Engine with NewEngine and call
+// Engine.ClusterDistributed — it takes a context.Context, so a daemon can
+// shut the session down gracefully on SIGINT. This wrapper cannot be
+// canceled.
 func ClusterDistributed(corpus *Corpus, opts DistributedOptions) (*DistributedResult, error) {
-	if opts.K <= 0 {
-		return nil, fmt.Errorf("xmlclust: K must be ≥ 1")
-	}
-	m := len(opts.PeerAddrs)
-	if m == 0 {
-		return nil, fmt.Errorf("xmlclust: need at least one peer address")
-	}
-	if opts.ID < 0 || opts.ID >= m {
-		return nil, fmt.Errorf("xmlclust: peer id %d outside [0,%d)", opts.ID, m)
-	}
-	listen := opts.Listen
-	if listen == "" {
-		listen = opts.PeerAddrs[opts.ID]
-	}
-	ln, err := net.Listen("tcp", listen)
-	if err != nil {
-		return nil, fmt.Errorf("xmlclust: listen %s: %w", listen, err)
-	}
-	node := p2p.NewNode(opts.ID, ln, opts.PeerAddrs, p2p.NodeOptions{DialTimeout: opts.DialTimeout})
-	defer node.Close()
-
-	cx := sim.NewContext(corpus, sim.Params{F: opts.F, Gamma: opts.Gamma})
-	n := len(corpus.Transactions)
-	var part [][]int
-	if opts.UnequalSplit {
-		part = core.UnequalPartition(n, m, opts.Seed)
-	} else {
-		part = core.EqualPartition(n, m, opts.Seed)
-	}
-	rt := opts.RoundTimeout
-	switch {
-	case rt == 0:
-		rt = DefaultRoundTimeout
-	case rt < 0:
-		rt = 0
-	}
-	st := opts.StartupTimeout
-	if st == 0 {
-		st = DefaultStartupTimeout
-	}
-	pres, err := core.RunPeer(context.Background(), cx, corpus, core.Options{
-		K: opts.K, Params: cx.Params, Peers: m, Partition: part,
-		Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: node,
-		Workers: opts.Workers, RoundTimeout: rt, StartupTimeout: st,
-	}, opts.ID)
+	eng, err := NewEngine(corpus, EngineOptions{})
 	if err != nil {
 		return nil, err
 	}
-	return &DistributedResult{
-		ID:          pres.ID,
-		LocalAssign: pres.Assign,
-		Assign:      pres.Global,
-		Reps:        pres.Reps,
-		Rounds:      pres.Rounds,
-		WallTime:    pres.WallTime,
-	}, nil
+	return eng.ClusterDistributed(context.Background(), opts)
 }
 
 // DocumentClusters aggregates a per-transaction assignment to per-document

@@ -186,6 +186,119 @@ func TestDocumentClustersMajority(t *testing.T) {
 	}
 }
 
+// multiTupleCorpus builds a corpus whose documents each decompose into
+// several transactions, so majority voting has real work to do.
+func multiTupleCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	docs := []string{
+		`<catalog><sw key="a1"><name>photo editor</name></sw><sw key="a2"><name>photo viewer</name></sw><sw key="a3"><name>photo printer</name></sw></catalog>`,
+		`<catalog><game key="b1"><title>space battle</title></game><game key="b2"><title>space race</title></game><game key="b3"><title>space siege</title></game></catalog>`,
+	}
+	var trees []*Tree
+	for _, d := range docs {
+		tree, err := ParseString(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+	}
+	corpus := BuildCorpus(trees, CorpusOptions{})
+	perDoc := map[int]int{}
+	for _, tr := range corpus.Transactions {
+		perDoc[tr.Doc]++
+	}
+	for doc, n := range perDoc {
+		if n < 3 {
+			t.Fatalf("test corpus assumption broken: doc %d has %d transactions, need ≥ 3", doc, n)
+		}
+	}
+	return corpus
+}
+
+// TestDocumentClustersTieBreak pins the documented tie rule: equal vote
+// counts go to the LOWER cluster id, regardless of vote order.
+func TestDocumentClustersTieBreak(t *testing.T) {
+	corpus := multiTupleCorpus(t)
+	assign := make([]int, len(corpus.Transactions))
+	// Per document: first transaction → cluster 5, second → cluster 2,
+	// remaining → trash. 5 and 2 tie on one vote each ⇒ cluster 2 wins.
+	seen := map[int]int{}
+	for i, tr := range corpus.Transactions {
+		switch seen[tr.Doc] {
+		case 0:
+			assign[i] = 5
+		case 1:
+			assign[i] = 2
+		default:
+			assign[i] = TrashCluster
+		}
+		seen[tr.Doc]++
+	}
+	for doc, cl := range DocumentClusters(corpus, assign) {
+		if cl != 2 {
+			t.Errorf("doc %d: tie resolved to %d, want lower id 2", doc, cl)
+		}
+	}
+}
+
+// TestDocumentClustersTrashNeverOutvotes pins that trash votes are ignored
+// while any real cluster got at least one vote: a document with one real
+// vote and many trash votes still maps to the real cluster.
+func TestDocumentClustersTrashNeverOutvotes(t *testing.T) {
+	corpus := multiTupleCorpus(t)
+	assign := make([]int, len(corpus.Transactions))
+	first := map[int]bool{}
+	for i, tr := range corpus.Transactions {
+		if !first[tr.Doc] {
+			assign[i] = 3
+			first[tr.Doc] = true
+		} else {
+			assign[i] = TrashCluster
+		}
+	}
+	for doc, cl := range DocumentClusters(corpus, assign) {
+		if cl != 3 {
+			t.Errorf("doc %d: trash outvoted the real cluster (got %d)", doc, cl)
+		}
+	}
+}
+
+// TestDocumentClustersShortAssign pins the behaviour for assignment slices
+// shorter than the transaction list: trailing transactions cast no votes,
+// and documents whose transactions all fall past the end are absent from
+// the result instead of panicking.
+func TestDocumentClustersShortAssign(t *testing.T) {
+	corpus := multiTupleCorpus(t)
+	// Cover only the transactions of the first document.
+	firstDoc := corpus.Transactions[0].Doc
+	n := 0
+	for _, tr := range corpus.Transactions {
+		if tr.Doc != firstDoc {
+			break
+		}
+		n++
+	}
+	if n == len(corpus.Transactions) {
+		t.Fatal("test needs a second document past the assignment slice")
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = 1
+	}
+	dc := DocumentClusters(corpus, assign)
+	if cl, ok := dc[firstDoc]; !ok || cl != 1 {
+		t.Errorf("covered doc %d → %d (present %v), want cluster 1", firstDoc, cl, ok)
+	}
+	if len(dc) != 1 {
+		t.Errorf("uncovered documents should cast no votes; got %v", dc)
+	}
+
+	// Empty assignment: no votes at all, empty result, no panic.
+	if dc := DocumentClusters(corpus, nil); len(dc) != 0 {
+		t.Errorf("nil assignment produced votes: %v", dc)
+	}
+}
+
 func TestDocumentClustersAllTrash(t *testing.T) {
 	corpus := sampleCorpus(t)
 	assign := make([]int, len(corpus.Transactions))
