@@ -170,11 +170,11 @@ func runSweep(ds string, scale experiments.Scale, workers int) error {
 		return err
 	}
 	fmt.Printf("Engine sweep — f×γ grid (%s, hybrid, centralized, k=%d)\n", ds, spec.Base.K)
-	fmt.Printf("%6s %6s %12s %8s %12s\n", "f", "γ", "F-measure", "trash", "wall")
+	fmt.Printf("%6s %6s %12s %8s %12s %10s %12s\n", "f", "γ", "F-measure", "trash", "wall", "pruned", "warm-reuse")
 	for _, c := range cells {
-		fmt.Printf("%6.1f %6.1f %12.3f %8.2f %12s\n",
+		fmt.Printf("%6.1f %6.1f %12.3f %8.2f %12s %10d %12d\n",
 			c.Options.F, c.Options.Gamma, c.Scores.FMeasure, c.Scores.Trash,
-			c.Result.WallTime.Round(time.Microsecond))
+			c.Result.WallTime.Round(time.Microsecond), c.Result.PrunedRows, c.Result.ScratchReuses)
 	}
 	fmt.Printf("%d cells in %v elapsed (%v summed cell wall time); %d structural pair sims cached\n",
 		len(cells), time.Since(t0).Round(time.Millisecond),

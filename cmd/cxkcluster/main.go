@@ -200,7 +200,8 @@ func progressPrinter() func(xmlclust.Event) {
 				ev.Peer, ev.Round+1, ev.Objective, ev.SentMsgs, ev.SentBytes, ev.Elapsed.Round(time.Millisecond))
 		case xmlclust.EventDone:
 			if ev.Peer == -1 {
-				fmt.Fprintf(os.Stderr, "done: %d rounds in %v\n", ev.Round, ev.Elapsed.Round(time.Millisecond))
+				fmt.Fprintf(os.Stderr, "done: %d rounds in %v (kernel: %d matrix rows pruned, %d warm-scratch reuses)\n",
+					ev.Round, ev.Elapsed.Round(time.Millisecond), ev.PrunedRows, ev.ScratchReuses)
 			}
 		}
 	}

@@ -238,6 +238,12 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, err
 		transport = t
 	}
 	observer := serializedObserver(opts.Events)
+	// Kernel-counter snapshot for the per-job delta reported in Result.
+	// Jobs at the same (F, Gamma) share one context; when such jobs run
+	// concurrently (a sweep with K or Peers axes) the deltas attribute the
+	// overlap to whichever cell reads last — totals across cells stay exact.
+	prunedBefore := cx.Counters.PrunedRows.Load()
+	reusesBefore := cx.Counters.ScratchReuses.Load()
 
 	var res *core.Result
 	var err error
@@ -269,6 +275,8 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, err
 		TrafficBytes:  bytes,
 		TrafficMsgs:   msgs,
 		K:             opts.K,
+		PrunedRows:    cx.Counters.PrunedRows.Load() - prunedBefore,
+		ScratchReuses: cx.Counters.ScratchReuses.Load() - reusesBefore,
 	}, nil
 }
 

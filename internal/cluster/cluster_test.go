@@ -146,7 +146,7 @@ func TestComputeLocalRepresentativeCoversCluster(t *testing.T) {
 	}
 	// The representative must be γ-similar to every member.
 	for i, tr := range papers {
-		if got := cx.Transactions(tr, rep); got == 0 {
+		if got := cx.Transactions(tr, rep, nil); got == 0 {
 			t.Errorf("member %d has zero similarity to its representative", i)
 		}
 	}
@@ -166,12 +166,12 @@ func TestRepresentativeSeparatesGroups(t *testing.T) {
 	prep := ComputeLocalRepresentative(RepConfig{Ctx: cx}, papers)
 	rrep := ComputeLocalRepresentative(RepConfig{Ctx: cx}, reports)
 	for _, tr := range papers {
-		if cx.Transactions(tr, prep) <= cx.Transactions(tr, rrep) {
+		if cx.Transactions(tr, prep, nil) <= cx.Transactions(tr, rrep, nil) {
 			t.Errorf("paper closer to report representative")
 		}
 	}
 	for _, tr := range reports {
-		if cx.Transactions(tr, rrep) <= cx.Transactions(tr, prep) {
+		if cx.Transactions(tr, rrep, nil) <= cx.Transactions(tr, prep, nil) {
 			t.Errorf("report closer to paper representative")
 		}
 	}
@@ -190,7 +190,7 @@ func TestComputeGlobalRepresentativeMergesLocals(t *testing.T) {
 		t.Fatal("nil global representative")
 	}
 	for i, tr := range papers {
-		if cx.Transactions(tr, g) == 0 {
+		if cx.Transactions(tr, g, nil) == 0 {
 			t.Errorf("paper %d unreachable from global representative", i)
 		}
 	}
@@ -218,8 +218,8 @@ func TestGlobalRepresentativeWeightInfluence(t *testing.T) {
 	g := ComputeGlobalRepresentative(RepConfig{Ctx: cx}, []WeightedRep{
 		{Rep: lp, Weight: 100}, {Rep: lr, Weight: 1},
 	})
-	simP := cx.Transactions(papers[0], g)
-	simR := cx.Transactions(reports[0], g)
+	simP := cx.Transactions(papers[0], g, nil)
+	simR := cx.Transactions(reports[0], g, nil)
 	if simP <= simR {
 		t.Errorf("weight 100 paper rep should dominate: paper=%v report=%v", simP, simR)
 	}

@@ -222,11 +222,19 @@ func generateTreeTuple(cfg RepConfig, ranked []rankedItem, c []*txn.Transaction)
 	// The objective Σ_{tr∈C} simγJ(tr, rep′) is the hot spot of
 	// representative generation: one transaction similarity per cluster
 	// member per refinement step. The terms are independent, so they are
-	// computed across the worker pool and reduced in index order (the
-	// float sum must not depend on the schedule).
+	// computed across the worker pool — each worker reusing one similarity
+	// Scratch across the whole refinement, so no step allocates per pair —
+	// and reduced in index order (the float sum must not depend on the
+	// schedule).
+	scratches := make([]*sim.Scratch, parallel.WorkerCount(cfg.Workers, len(c)))
 	objective := func(rep *txn.Transaction) float64 {
-		return parallel.Sum(cfg.Workers, len(c), func(i int) float64 {
-			return cx.Transactions(c[i], rep)
+		return parallel.SumWorkers(cfg.Workers, len(c), func(w, i int) float64 {
+			sc := scratches[w]
+			if sc == nil {
+				sc = sim.NewScratch()
+				scratches[w] = sc
+			}
+			return cx.Transactions(c[i], rep, sc)
 		})
 	}
 	// Batch size: rank ties always travel together; under

@@ -129,16 +129,31 @@ func RelocateWorkers(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transact
 // RelocateCtx is RelocateWorkers with cooperative cancellation: workers stop
 // drawing transactions once ctx is done and the call returns ctx's error
 // with a partial (unusable) assignment. A nil ctx never cancels.
+//
+// Each worker owns one similarity Scratch (reused across every pair it
+// evaluates, so the scan allocates nothing per pair) and threads its
+// running argmax through sim.TransactionsAtLeast: once a representative
+// has scored `best`, later representatives are abandoned as soon as the
+// kernel's exact upper bound proves they cannot strictly beat it. The
+// bound is exact and ties still resolve to the lowest representative
+// index, so assignments stay byte-identical to an unpruned scan for any
+// worker count (pinned by TestRelocatePruningEquivalence).
 func RelocateCtx(ctx context.Context, cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction, workers int) ([]int, error) {
 	assign := make([]int, len(s))
-	err := parallel.ForCtx(ctx, workers, len(s), func(i int) {
+	scratches := make([]*sim.Scratch, parallel.WorkerCount(workers, len(s)))
+	err := parallel.ForCtxWorkers(ctx, workers, len(s), func(w, i int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = sim.NewScratch()
+			scratches[w] = sc
+		}
 		tr := s[i]
 		best, bestJ := 0.0, TrashCluster
 		for j, rep := range reps {
 			if rep == nil || rep.Len() == 0 {
 				continue
 			}
-			v := cx.Transactions(tr, rep)
+			v := cx.TransactionsAtLeast(tr, rep, best, sc)
 			if v > best {
 				best, bestJ = v, j
 			}
@@ -242,15 +257,27 @@ func repsEqual(a, b []*txn.Transaction) bool {
 // similarity: Σ over non-trash transactions of (1 − simγJ(tr, rep_assigned)).
 // Used by the PK-means baseline's global stopping rule.
 func SSE(cx *sim.Context, s []*txn.Transaction, assign []int, reps []*txn.Transaction) float64 {
-	var sse float64
-	for i, a := range assign {
+	return SSEWorkers(cx, s, assign, reps, 1)
+}
+
+// SSEWorkers is SSE spread over a worker pool, each worker reusing one
+// similarity Scratch so the objective allocates nothing per pair. Terms are
+// reduced in index order (parallel.SumWorkers), so the float result is
+// byte-identical to the serial SSE for any worker count.
+func SSEWorkers(cx *sim.Context, s []*txn.Transaction, assign []int, reps []*txn.Transaction, workers int) float64 {
+	scratches := make([]*sim.Scratch, parallel.WorkerCount(workers, len(assign)))
+	return parallel.SumWorkers(workers, len(assign), func(w, i int) float64 {
+		a := assign[i]
 		if a < 0 || a >= len(reps) || reps[a] == nil {
-			sse += 1 // trash contributes maximal error
-			continue
+			return 1 // trash contributes maximal error
 		}
-		sse += 1 - cx.Transactions(s[i], reps[a])
-	}
-	return sse
+		sc := scratches[w]
+		if sc == nil {
+			sc = sim.NewScratch()
+			scratches[w] = sc
+		}
+		return 1 - cx.Transactions(s[i], reps[a], sc)
+	})
 }
 
 // SortedClusterSizes returns the cluster sizes in descending order (used by

@@ -319,7 +319,10 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 		msgs, bytes := res.TotalTraffic()
 		opts.Observer(Event{
 			Kind: EventDone, Peer: -1, Round: res.Rounds, Phase: PhaseDone,
-			SentMsgs: msgs, SentBytes: bytes, Elapsed: wall,
+			SentMsgs: msgs, SentBytes: bytes,
+			PrunedRows:    cx.Counters.PrunedRows.Load(),
+			ScratchReuses: cx.Counters.ScratchReuses.Load(),
+			Elapsed:       wall,
 		})
 	}
 	return res, nil

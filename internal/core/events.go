@@ -64,6 +64,12 @@ type Event struct {
 	// traffic so far (cumulative over all completed accounting rounds).
 	SentMsgs, SentBytes int64
 	RecvMsgs, RecvBytes int64
+	// PrunedRows and ScratchReuses snapshot the similarity context's kernel
+	// counters at emission time: match-matrix rows skipped by the exact
+	// branch-and-bound of the assignment path, and kernel invocations that
+	// ran on a fully warm (zero-allocation) Scratch. In-process peers share
+	// one context, so these are run-wide running totals, not per-peer ones.
+	PrunedRows, ScratchReuses int64
 	// Elapsed is the time since the session (or run, for Peer == -1)
 	// started.
 	Elapsed time.Duration

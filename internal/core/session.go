@@ -230,11 +230,14 @@ func (s *session) emit(kind EventKind, round int, objective float64) {
 		return
 	}
 	sm, sb, rm, rb := s.report.TrafficTotals()
+	ctrs := &s.p.cfg.Ctx.Counters
 	obs(Event{
 		Kind: kind, Peer: s.p.cfg.ID, Round: round, Phase: s.phase,
 		Objective: objective,
 		SentMsgs:  sm, SentBytes: sb, RecvMsgs: rm, RecvBytes: rb,
-		Elapsed: time.Since(s.t0),
+		PrunedRows:    ctrs.PrunedRows.Load(),
+		ScratchReuses: ctrs.ScratchReuses.Load(),
+		Elapsed:       time.Since(s.t0),
 	})
 }
 
@@ -402,7 +405,7 @@ func (s *session) relocate(ctx context.Context) error {
 		// Outside the compute section on purpose: the per-round objective
 		// is instrumentation and must not inflate ComputeByRound (and with
 		// it the paper's SimulatedTime metric).
-		s.objective = cluster.SSE(cfg.Ctx, cfg.Local, s.assign, s.global)
+		s.objective = cluster.SSEWorkers(cfg.Ctx, cfg.Local, s.assign, s.global, cfg.Workers)
 	}
 	s.changed = !repSliceEqual(s.newLocalRp, s.localRp)
 	copy(s.localRp, s.newLocalRp)

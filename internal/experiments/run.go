@@ -7,6 +7,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -76,10 +77,24 @@ type RunResult struct {
 	Bytes     int64         // modeled traffic
 	Msgs      int64
 	Txns      int
+	Docs      int // distinct source documents in the corpus
 	K         int
 	ItemSims  int64 // similarity-work counters for the complexity study
 	TxnSims   int64
 	CacheHits int64
+	// PathSims counts Eq. 3 alignments actually computed (not served by
+	// the path cache) — the direct measure the cache ablation reports.
+	PathSims int64
+	// PrunedRows counts match-matrix rows skipped by the similarity
+	// kernel's exact branch-and-bound during relocation (work avoided with
+	// byte-identical output).
+	PrunedRows int64
+	// Mallocs is the process-wide heap-allocation delta across the
+	// clustering run (runtime.MemStats.Mallocs) — with the zero-allocation
+	// kernel it scales with rounds and representatives, not with
+	// transaction pairs. Divided by Docs it yields the ablation tables'
+	// allocs/doc column. Noisy under concurrent load; treat as indicative.
+	Mallocs uint64
 }
 
 // corpusKey caches prepared corpora across runs: corpus construction and
@@ -101,6 +116,18 @@ type preparedCorpus struct {
 	corpus *txn.Corpus
 	labels []int
 	k      int
+	docs   int
+}
+
+// countDocs counts the distinct source documents of a corpus.
+func countDocs(c *txn.Corpus) int {
+	seen := map[int]struct{}{}
+	for _, tr := range c.Transactions {
+		if tr.Doc >= 0 {
+			seen[tr.Doc] = struct{}{}
+		}
+	}
+	return len(seen)
 }
 
 // DataSeed fixes the corpus-generation seed; run seeds only affect
@@ -125,6 +152,7 @@ func prepare(spec RunSpec) (*preparedCorpus, error) {
 		corpus: corpus,
 		labels: dataset.TransactionLabels(corpus),
 		k:      col.K(spec.Kind),
+		docs:   countDocs(corpus),
 	}
 	corpusCache[key] = pc
 	return pc, nil
@@ -160,6 +188,9 @@ func ExecuteCtx(ctx context.Context, spec RunSpec) (RunResult, error) {
 	cx := sim.NewContext(pc.corpus, sim.Params{F: spec.F, Gamma: spec.Gamma})
 	cx.UseCache = !spec.DisablePathCache
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
 	n := len(pc.corpus.Transactions)
 	var part [][]int
 	if spec.Unequal {
@@ -186,6 +217,8 @@ func ExecuteCtx(ctx context.Context, spec RunSpec) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 
 	cont := eval.NewContingency(pc.labels, res.Assign, k)
 	msgs, bytes := res.TotalTraffic()
@@ -194,21 +227,25 @@ func ExecuteCtx(ctx context.Context, spec RunSpec) (RunResult, error) {
 		computeSum += res.Peers[i].TotalCompute()
 	}
 	return RunResult{
-		F:         cont.FMeasure(),
-		Purity:    cont.Purity(),
-		NMI:       cont.NMI(),
-		Trash:     eval.TrashFraction(pc.labels, res.Assign),
-		Rounds:    res.Rounds,
-		SimTime:   res.SimulatedTime(p2p.DefaultTimeModel()),
-		WallTime:  res.WallTime,
-		Compute:   computeSum,
-		Bytes:     bytes,
-		Msgs:      msgs,
-		Txns:      n,
-		K:         k,
-		ItemSims:  cx.Counters.ItemSims.Load(),
-		TxnSims:   cx.Counters.TxnSims.Load(),
-		CacheHits: cx.Counters.CacheHits.Load(),
+		F:          cont.FMeasure(),
+		Purity:     cont.Purity(),
+		NMI:        cont.NMI(),
+		Trash:      eval.TrashFraction(pc.labels, res.Assign),
+		Rounds:     res.Rounds,
+		SimTime:    res.SimulatedTime(p2p.DefaultTimeModel()),
+		WallTime:   res.WallTime,
+		Compute:    computeSum,
+		Bytes:      bytes,
+		Msgs:       msgs,
+		Txns:       n,
+		Docs:       pc.docs,
+		K:          k,
+		ItemSims:   cx.Counters.ItemSims.Load(),
+		TxnSims:    cx.Counters.TxnSims.Load(),
+		CacheHits:  cx.Counters.CacheHits.Load(),
+		PathSims:   cx.Counters.PathSims.Load(),
+		PrunedRows: cx.Counters.PrunedRows.Load(),
+		Mallocs:    memAfter.Mallocs - memBefore.Mallocs,
 	}, nil
 }
 

@@ -28,6 +28,22 @@ func Resolve(workers int) int {
 	return workers
 }
 
+// WorkerCount reports how many workers the fork-join primitives will
+// actually spawn for a knob value and a work-item count: Resolve(workers)
+// capped at n, never below 1. Callers use it to size per-worker state (one
+// similarity Scratch per worker, for example) before handing the state out
+// by worker id in ForWorkers/ForCtxWorkers/SumWorkers.
+func WorkerCount(workers, n int) int {
+	w := Resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // For runs fn(i) for every i in [0,n), spread over the given number of
 // workers. workers < 1 resolves to the CPU count; workers == 1 (or n ≤ 1)
 // runs inline with no goroutines, so the serial path stays allocation- and
@@ -39,13 +55,21 @@ func Resolve(workers int) int {
 // concurrently and must confine its writes to state owned by index i;
 // under that contract the result is independent of the schedule.
 func For(workers, n int, fn func(i int)) {
-	workers = Resolve(workers)
-	if workers > n {
-		workers = n
-	}
+	ForWorkers(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorkers is For with a per-worker state hook: fn additionally receives
+// the dense id (in [0, WorkerCount(workers, n))) of the worker executing
+// the index, so callers can give every worker goroutine private mutable
+// state — scratch buffers, counters — without locking. Which worker draws
+// which index is schedule-dependent; the per-worker state must therefore
+// never influence results, only performance (the similarity kernel's
+// Scratch is the canonical example). The serial path runs as worker 0.
+func ForWorkers(workers, n int, fn func(worker, i int)) {
+	workers = WorkerCount(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -53,16 +77,16 @@ func For(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -74,15 +98,18 @@ func For(workers, n int, fn func(i int)) {
 // the output slots are incomplete and the caller must discard them. A nil
 // ctx (or one that can never be canceled) degenerates to For.
 func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	return ForCtxWorkers(ctx, workers, n, func(_, i int) { fn(i) })
+}
+
+// ForCtxWorkers combines ForWorkers' per-worker state hook with ForCtx's
+// cooperative cancellation (see both for the contracts).
+func ForCtxWorkers(ctx context.Context, workers, n int, fn func(worker, i int)) error {
 	if ctx == nil || ctx.Done() == nil {
-		For(workers, n, fn)
+		ForWorkers(workers, n, fn)
 		return nil
 	}
 	done := ctx.Done()
-	workers = Resolve(workers)
-	if workers > n {
-		workers = n
-	}
+	workers = WorkerCount(workers, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			select {
@@ -90,7 +117,7 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 				return ctx.Err()
 			default:
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return nil
 	}
@@ -99,7 +126,7 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				select {
@@ -112,9 +139,9 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if canceled.Load() {
@@ -130,16 +157,24 @@ func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 // schedule-dependent reduction order would leak into cluster objectives
 // and break run-to-run reproducibility.
 func Sum(workers, n int, fn func(i int) float64) float64 {
-	if Resolve(workers) <= 1 || n <= 1 {
+	return SumWorkers(workers, n, func(_, i int) float64 { return fn(i) })
+}
+
+// SumWorkers is Sum with the per-worker state hook of ForWorkers: fn
+// receives the executing worker's dense id alongside the index, and the
+// terms are still reduced in ascending index order, so the float result is
+// byte-identical to the serial loop for any worker count and any schedule.
+func SumWorkers(workers, n int, fn func(worker, i int) float64) float64 {
+	if WorkerCount(workers, n) <= 1 || n <= 1 {
 		s := 0.0
 		for i := 0; i < n; i++ {
-			s += fn(i)
+			s += fn(0, i)
 		}
 		return s
 	}
 	terms := make([]float64, n)
-	For(workers, n, func(i int) {
-		terms[i] = fn(i)
+	ForWorkers(workers, n, func(w, i int) {
+		terms[i] = fn(w, i)
 	})
 	s := 0.0
 	for _, t := range terms {

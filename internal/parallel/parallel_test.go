@@ -117,3 +117,85 @@ func TestSumEmpty(t *testing.T) {
 		t.Fatalf("Sum over empty range = %v", got)
 	}
 }
+
+func TestWorkerCount(t *testing.T) {
+	cpuCapped := runtime.GOMAXPROCS(0)
+	if cpuCapped > 2 {
+		cpuCapped = 2
+	}
+	for _, tc := range []struct{ workers, n, want int }{
+		{1, 100, 1},
+		{4, 100, 4},
+		{8, 3, 3},
+		{4, 0, 1},
+		{-1, 2, cpuCapped}, // <1 resolves to the CPU count, capped at n
+	} {
+		if got := WorkerCount(tc.workers, tc.n); got != tc.want {
+			t.Errorf("WorkerCount(%d, %d) = %d, want %d", tc.workers, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestForWorkersIDsAndCoverage: every index runs exactly once and every
+// worker id stays inside [0, WorkerCount).
+func TestForWorkersIDsAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 257
+		nw := WorkerCount(workers, n)
+		var ran [n]atomic.Int64
+		var badID atomic.Bool
+		ForWorkers(workers, n, func(w, i int) {
+			if w < 0 || w >= nw {
+				badID.Store(true)
+			}
+			ran[i].Add(1)
+		})
+		if badID.Load() {
+			t.Fatalf("workers=%d: worker id outside [0,%d)", workers, nw)
+		}
+		for i := range ran {
+			if ran[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, ran[i].Load())
+			}
+		}
+	}
+}
+
+// TestForWorkersPerWorkerStateIsPrivate: per-worker slots accumulate the
+// whole range with no index lost, proving each index is charged to exactly
+// the worker that ran it.
+func TestForWorkersPerWorkerStateIsPrivate(t *testing.T) {
+	const n = 1000
+	nw := WorkerCount(4, n)
+	sums := make([]int, nw)
+	ForWorkers(4, n, func(w, i int) { sums[w] += i })
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	if want := n * (n - 1) / 2; total != want {
+		t.Fatalf("per-worker sums total %d, want %d", total, want)
+	}
+}
+
+func TestSumWorkersMatchesSum(t *testing.T) {
+	const n = 999
+	term := func(i int) float64 { return float64(i%13) * 1e-7 }
+	want := Sum(1, n, term)
+	for _, workers := range []int{2, 8} {
+		if got := SumWorkers(workers, n, func(_, i int) float64 { return term(i) }); got != want {
+			t.Fatalf("workers=%d: SumWorkers = %v, want %v (bit-identical)", workers, got, want)
+		}
+	}
+}
+
+func TestForCtxWorkersCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForCtxWorkers(ctx, 4, 100, func(_, _ int) { ran = true })
+	if err == nil {
+		t.Fatal("canceled ctx produced nil error")
+	}
+	_ = ran // indices in flight may run; only the error contract is pinned
+}

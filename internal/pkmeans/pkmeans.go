@@ -165,7 +165,10 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 		msgs, bytes := res.TotalTraffic()
 		opts.Observer(core.Event{
 			Kind: core.EventDone, Peer: -1, Round: res.Rounds, Phase: core.PhaseDone,
-			SentMsgs: msgs, SentBytes: bytes, Elapsed: wall,
+			SentMsgs: msgs, SentBytes: bytes,
+			PrunedRows:    cx.Counters.PrunedRows.Load(),
+			ScratchReuses: cx.Counters.ScratchReuses.Load(),
+			Elapsed:       wall,
 		})
 	}
 	return res, nil
@@ -222,7 +225,9 @@ func (p *peer) emit(kind core.EventKind, round int, objective float64) {
 	p.observer(core.Event{
 		Kind: kind, Peer: p.id, Round: round, Objective: objective,
 		SentMsgs: sm, SentBytes: sb, RecvMsgs: rm, RecvBytes: rb,
-		Elapsed: time.Since(p.t0),
+		PrunedRows:    p.cx.Counters.PrunedRows.Load(),
+		ScratchReuses: p.cx.Counters.ScratchReuses.Load(),
+		Elapsed:       time.Since(p.t0),
 	})
 }
 
@@ -317,7 +322,7 @@ func (p *peer) run(ctx context.Context) error {
 					localReps[j] = core.WeightedWireRep{Rep: wireOf(rep), Weight: len(members[j])}
 				}
 			}
-			localSSE = cluster.SSE(p.cx, p.local, p.assign, p.global)
+			localSSE = cluster.SSEWorkers(p.cx, p.local, p.assign, p.global, p.workers)
 		})
 
 		// All-to-all exchange: every peer ships all k local reps + SSE.

@@ -1,0 +1,538 @@
+package sim
+
+import (
+	"math/bits"
+	"sync"
+
+	"xmlclust/internal/txn"
+	"xmlclust/internal/xmltree"
+)
+
+// This file is the transaction-similarity kernel: the single allocation-free
+// inner loop behind Eq. 4 that every hot path of the system funnels into
+// (Relocate's argmax scans, the refinement objectives of GenerateTreeTuple,
+// the SSE stopping rules). The kernel computes the γ-matching marks of a
+// transaction pair in one row-major pass over the item-similarity matrix and
+// exposes three readings of them:
+//
+//   - MatchCount: |matchγ| — all the assignment path ever needs;
+//   - TransactionsAtLeast: simγJ with exact branch-and-bound row pruning
+//     against a caller-supplied threshold;
+//   - MatchSet: the materialized id set, for the few callers (representative
+//     conflation, tests) that genuinely need set membership.
+//
+// Tie rule (shared by all three): an item e ∈ tr_i belongs to
+// matchγ(tr_i→tr_j) iff some e_h ∈ tr_j has sim(e, e_h) ≥ γ and no other
+// item of tr_i matches that e_h strictly better — ties all qualify, i.e.
+// every item whose similarity equals the per-row/per-column maximum is
+// marked, not just the first one found. The count-only path reproduces the
+// set cardinality exactly because marks live on disjoint index spaces
+// (mark1 ⊆ tr1's positions, mark2 ⊆ tr2's positions) and the one source of
+// double counting — an item id present in BOTH transactions and marked from
+// both directions — is subtracted by a merge walk over the two sorted id
+// slices.
+
+// Scratch is the reusable working state of the match kernel: the resolved
+// item-pointer slices, the n1×n2 similarity matrix, the per-column maxima
+// and the two direction-mark bitsets. All buffers are grown in place and
+// reused across calls, so a warm Scratch makes Transactions allocation-free
+// (the CI allocation guard pins this at exactly 0 allocs/op).
+//
+// A Scratch is NOT safe for concurrent use; give each goroutine its own
+// (see parallel.ForCtxWorkers) or pass nil to borrow one from the shared
+// pool.
+type Scratch struct {
+	items1, items2 []*txn.Item
+	simM           []float64 // row-major n1×n2 item similarities
+	colBest        []float64 // per-column maximum over the rows seen so far
+	mark1          []uint64  // bitset over tr1 positions (direction tr1→tr2)
+	mark2          []uint64  // bitset over tr2 positions (direction tr2→tr1)
+
+	// Structural memo: each side's distinct tag paths (tp1[:nd1],
+	// tp2[:nd2]) with per-position slot indices, plus the d1×d2 structural
+	// similarity matrix filled lazily one d1-row at a time (structDone
+	// tracks filled rows). Tree-tuple items share tag paths heavily (every
+	// author of an article, say), so one Eq. 3 probe per distinct tag-path
+	// pair replaces one per item pair — same float64 values, an order of
+	// magnitude fewer sharded-cache probes on same-schema corpora.
+	tp1, tp2       []xmltree.PathID
+	tpIdx1, tpIdx2 []int32
+	nd1, nd2       int
+	structM        []float64
+	structDone     []uint64
+
+	// structKey/structVal form a scratch-local, lock-free L1-resident memo
+	// of Eq. 3 tag-path pair similarities layered over the shared sharded
+	// PathCache: the same pairs recur across every representative of a
+	// relocation scan and across the transactions a worker draws, and a
+	// direct-mapped probe here replaces a RWMutex + map probe there. Values
+	// are the PathCache's own (pure functions of the pair), so results are
+	// bit-identical; collisions simply overwrite (it is a cache of a
+	// cache). Allocated on first structural use, fixed size afterwards.
+	// The memo is only valid for one Context — PathIDs are table-relative
+	// and Δ is pluggable — so lastCx guards it and a context switch clears
+	// it (rare: a scratch normally lives inside one clustering pass).
+	structKey []uint64 // packed ordered pair + 1; 0 = empty slot
+	structVal []float64
+	lastCx    *Context
+
+	// lastTab/lastTr1/lastTr2 memoize the item-pointer resolution of the
+	// previous call: transactions are immutable after construction and the
+	// interning table is append-only, so when the same side recurs — tr1 is
+	// fixed across a Relocate argmax scan, the candidate representative is
+	// fixed across a refinement-objective pass — the resolved pointers are
+	// reused without touching the table lock. Holding the *Transaction
+	// reference also keeps the memo key from being reused by the allocator.
+	lastTab          *txn.ItemTable
+	lastTr1, lastTr2 *txn.Transaction
+}
+
+// NewScratch returns an empty kernel scratch; buffers are grown on first
+// use and reused afterwards.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool backs the nil-Scratch convenience path. Pool reuse is
+// schedule-dependent, but Scratch contents never influence results, only
+// allocation behavior.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// getScratch resolves the caller's scratch: non-nil is used as-is, nil
+// borrows from the pool (the caller must hand it back with putScratch).
+func getScratch(sc *Scratch) (*Scratch, bool) {
+	if sc != nil {
+		return sc, false
+	}
+	return scratchPool.Get().(*Scratch), true
+}
+
+func putScratch(sc *Scratch, pooled bool) {
+	if pooled {
+		scratchPool.Put(sc)
+	}
+}
+
+// words is the uint64 word count of an n-bit bitset.
+func words(n int) int { return (n + 63) / 64 }
+
+func setBit(b []uint64, i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func hasBit(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// ensure sizes every buffer for an n1×n2 pair, growing only when capacity
+// is insufficient, and reports whether the call reused a fully warm scratch
+// (no buffer grew).
+func (sc *Scratch) ensure(n1, n2 int) bool {
+	reused := true
+	if cap(sc.items1) < n1 {
+		sc.items1 = make([]*txn.Item, n1)
+		reused = false
+	} else {
+		sc.items1 = sc.items1[:n1]
+	}
+	if cap(sc.items2) < n2 {
+		sc.items2 = make([]*txn.Item, n2)
+		reused = false
+	} else {
+		sc.items2 = sc.items2[:n2]
+	}
+	if cap(sc.simM) < n1*n2 {
+		sc.simM = make([]float64, n1*n2)
+		reused = false
+	} else {
+		sc.simM = sc.simM[:n1*n2]
+	}
+	if cap(sc.colBest) < n2 {
+		sc.colBest = make([]float64, n2)
+		reused = false
+	} else {
+		sc.colBest = sc.colBest[:n2]
+	}
+	if w := words(n1); cap(sc.mark1) < w {
+		sc.mark1 = make([]uint64, w)
+		reused = false
+	} else {
+		sc.mark1 = sc.mark1[:w]
+	}
+	if w := words(n2); cap(sc.mark2) < w {
+		sc.mark2 = make([]uint64, w)
+		reused = false
+	} else {
+		sc.mark2 = sc.mark2[:w]
+	}
+	if cap(sc.tp1) < n1 {
+		sc.tp1 = make([]xmltree.PathID, n1)
+		reused = false
+	} else {
+		sc.tp1 = sc.tp1[:n1]
+	}
+	if cap(sc.tp2) < n2 {
+		sc.tp2 = make([]xmltree.PathID, n2)
+		reused = false
+	} else {
+		sc.tp2 = sc.tp2[:n2]
+	}
+	if cap(sc.tpIdx1) < n1 {
+		sc.tpIdx1 = make([]int32, n1)
+		reused = false
+	} else {
+		sc.tpIdx1 = sc.tpIdx1[:n1]
+	}
+	if cap(sc.tpIdx2) < n2 {
+		sc.tpIdx2 = make([]int32, n2)
+		reused = false
+	} else {
+		sc.tpIdx2 = sc.tpIdx2[:n2]
+	}
+	if cap(sc.structM) < n1*n2 {
+		sc.structM = make([]float64, n1*n2)
+		reused = false
+	} else {
+		sc.structM = sc.structM[:n1*n2]
+	}
+	if w := words(n1); cap(sc.structDone) < w {
+		sc.structDone = make([]uint64, w)
+		reused = false
+	} else {
+		sc.structDone = sc.structDone[:w]
+	}
+	return reused
+}
+
+// structCacheSize is the slot count of the scratch-local structural memo
+// (a power of two; 4096 slots ≈ 64 KiB per Scratch).
+const structCacheSize = 1 << 12
+
+// structSim returns the Eq. 3 similarity of two interned tag paths through
+// the scratch-local memo, falling back to (and refilling from) the
+// context's shared path cache. Contexts with UseCache off (the path-cache
+// ablation) bypass the memo too — it is a cache of a cache, and the
+// ablation's uncached arm must keep measuring real alignment work.
+func (sc *Scratch) structSim(cx *Context, pa, pb xmltree.PathID) float64 {
+	if !cx.UseCache {
+		return cx.TagPathSim(pa, pb)
+	}
+	a, b := pa, pb
+	if b < a {
+		a, b = b, a
+	}
+	// PathIDs are int32, so the packed ordered pair is injective and the
+	// +1 keeps every real key distinct from the empty-slot sentinel 0.
+	key := (uint64(uint32(a))<<32 | uint64(uint32(b))) + 1
+	h := key * 0x9e3779b97f4a7c15
+	slot := (h >> 32) & (structCacheSize - 1)
+	if sc.structKey[slot] == key {
+		return sc.structVal[slot]
+	}
+	v := cx.TagPathSim(pa, pb)
+	sc.structKey[slot] = key
+	sc.structVal[slot] = v
+	return v
+}
+
+// indexTagPaths fills tps[:] with the distinct tag paths of items and idx
+// with each position's slot, returning the distinct count. Linear-scan
+// dedup: the distinct count is small (tree tuples repeat tag paths) and
+// the scan allocates nothing.
+func indexTagPaths(items []*txn.Item, tps []xmltree.PathID, idx []int32) int {
+	nd := 0
+	for j, b := range items {
+		tp := b.TagPath
+		slot := -1
+		for d := 0; d < nd; d++ {
+			if tps[d] == tp {
+				slot = d
+				break
+			}
+		}
+		if slot < 0 {
+			slot = nd
+			tps[nd] = tp
+			nd++
+		}
+		idx[j] = int32(slot)
+	}
+	return nd
+}
+
+// matchKernel computes the γ-matching marks of (tr1, tr2) into sc and
+// returns |matchγ| plus whether the pass ran to completion.
+//
+// When threshold ≥ 0 (and u > 0), the pass is branch-and-bound over the
+// rows of tr1: before computing row i it checks the exact upper bound
+//
+//	UB(i) = qualRows(i) + (n1 − i) + n2
+//
+// where qualRows(i) counts processed rows whose best similarity reached γ.
+// The bound is sound without any assumption on the unseen similarities:
+// a tr1 item can only be marked if its row maximum reaches γ (so marked
+// processed rows ≤ qualRows(i), and each unprocessed row adds at most
+// itself), while a single unprocessed row can — through exact similarity
+// ties, which all qualify — mark arbitrarily many tr2 columns, so the
+// column side admits no bound tighter than n2 until the last row is done.
+// (The tie cases are precisely why the folklore "2 new marks per remaining
+// row" bound is unsound; this kernel never trades exactness for pruning.)
+// As soon as UB(i)/u ≤ threshold even a perfect remainder cannot beat the
+// threshold, the remaining rows are skipped and Counters.PrunedRows grows
+// by the rows saved. Integer count and same-divisor IEEE division make the
+// bailout decision exact: the true similarity can never exceed the bound's
+// quotient, so callers comparing with a strict > observe byte-identical
+// decisions with pruning on or off.
+func (cx *Context) matchKernel(tr1, tr2 *txn.Transaction, sc *Scratch, threshold float64, u int) (int, bool) {
+	n1, n2 := tr1.Len(), tr2.Len()
+	if n1 == 0 || n2 == 0 {
+		return 0, true
+	}
+	f := cx.Params.F
+	sameTab := sc.lastTab == cx.Items
+	keep1 := sameTab && sc.lastTr1 == tr1
+	keep2 := sameTab && sc.lastTr2 == tr2
+	reused := sc.ensure(n1, n2)
+	useStructMemo := f > 0 && cx.UseCache
+	if useStructMemo && sc.structKey == nil {
+		sc.structKey = make([]uint64, structCacheSize)
+		sc.structVal = make([]float64, structCacheSize)
+		reused = false
+	}
+	if reused {
+		cx.Counters.ScratchReuses.Add(1)
+	}
+	items1, items2 := sc.items1, sc.items2
+	if !keep1 {
+		cx.Items.Resolve(tr1.Items, items1)
+		sc.nd1 = indexTagPaths(items1, sc.tp1, sc.tpIdx1)
+	}
+	if !keep2 {
+		cx.Items.Resolve(tr2.Items, items2)
+		sc.nd2 = indexTagPaths(items2, sc.tp2, sc.tpIdx2)
+	}
+	sc.lastTab, sc.lastTr1, sc.lastTr2 = cx.Items, tr1, tr2
+	colBest := sc.colBest
+	for j := range colBest {
+		colBest[j] = -1
+	}
+	mark1, mark2 := sc.mark1, sc.mark2
+	for i := range mark1 {
+		mark1[i] = 0
+	}
+	for j := range mark2 {
+		mark2[j] = 0
+	}
+
+	gamma := cx.Params.Gamma
+	prune := threshold >= 0 && u > 0
+	if f > 0 {
+		for d := range sc.structDone[:words(sc.nd1)] {
+			sc.structDone[d] = 0
+		}
+	}
+	if useStructMemo {
+		if sc.lastCx != cx {
+			for s := range sc.structKey {
+				sc.structKey[s] = 0
+			}
+		}
+		sc.lastCx = cx
+	}
+	qualRows := 0
+	for i := 0; i < n1; i++ {
+		if prune && float64(qualRows+(n1-i)+n2)/float64(u) <= threshold {
+			cx.Counters.PrunedRows.Add(int64(n1 - i))
+			return 0, false
+		}
+		a := items1[i]
+		var structRow []float64
+		if f > 0 {
+			// One Eq. 3 probe per distinct (tr1, tr2) tag-path pair: the d1
+			// structural row is filled on the first item row that needs it
+			// and reused by every later row sharing the tag path.
+			// structRow[d] is exactly Structural(a, b) for every b whose
+			// tag path sits in slot d.
+			d1 := int(sc.tpIdx1[i])
+			structRow = sc.structM[d1*sc.nd2 : d1*sc.nd2+sc.nd2]
+			if !hasBit(sc.structDone, d1) {
+				for d := 0; d < sc.nd2; d++ {
+					structRow[d] = sc.structSim(cx, a.TagPath, sc.tp2[d])
+				}
+				setBit(sc.structDone, d1)
+			}
+		} else {
+			structRow = sc.structM[:sc.nd2] // unread at f == 0
+		}
+		row := sc.simM[i*n2 : (i+1)*n2]
+		rowBest := -1.0
+		for j, b := range items2 {
+			s := cx.itemBlend(a, b, structRow[sc.tpIdx2[j]])
+			row[j] = s
+			if s > rowBest {
+				rowBest = s
+			}
+			if s > colBest[j] {
+				colBest[j] = s
+			}
+		}
+		// Direction tr2 → tr1: the best matchers of tr1's item i within tr2.
+		// rowBest is final once the row is filled, so the marks are set here,
+		// ties all qualifying.
+		if rowBest >= gamma {
+			qualRows++
+			for j, s := range row {
+				if s == rowBest {
+					setBit(mark2, j)
+				}
+			}
+		}
+	}
+	// Direction tr1 → tr2: for each tr2 item (column j), the best matchers
+	// from tr1 — every row tying the column maximum qualifies.
+	for j := 0; j < n2; j++ {
+		best := colBest[j]
+		if best < gamma {
+			continue
+		}
+		for i := 0; i < n1; i++ {
+			if sc.simM[i*n2+j] == best {
+				setBit(mark1, i)
+			}
+		}
+	}
+
+	count := 0
+	for _, w := range mark1 {
+		count += bits.OnesCount64(w)
+	}
+	for _, w := range mark2 {
+		count += bits.OnesCount64(w)
+	}
+	// matchγ is a set of item ids: an id held by BOTH transactions and
+	// marked from both directions must count once, not twice. Both id
+	// slices are sorted ascending and distinct, so a merge walk finds the
+	// doubly-marked common ids.
+	i, j := 0, 0
+	for i < n1 && j < n2 {
+		switch {
+		case tr1.Items[i] == tr2.Items[j]:
+			if hasBit(mark1, i) && hasBit(mark2, j) {
+				count--
+			}
+			i++
+			j++
+		case tr1.Items[i] < tr2.Items[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return count, true
+}
+
+// itemBlend is Item with the structural term precomputed by the kernel's
+// row memo: structSim must equal Structural(a, b) whenever f > 0 (it is
+// ignored at f == 0). The arithmetic replicates Item operation for
+// operation, so the kernel's similarity values are bit-identical to direct
+// Item calls; counters and the optional item-pair memo behave identically
+// too.
+func (cx *Context) itemBlend(a, b *txn.Item, structSim float64) float64 {
+	cx.Counters.ItemSims.Add(1)
+	var key itemPair
+	if cx.ItemCache != nil {
+		key = packItemPair(a.ID, b.ID)
+		if s, ok := cx.ItemCache.lookup(key); ok {
+			cx.Counters.ItemCacheHits.Add(1)
+			return s
+		}
+	}
+	f := cx.Params.F
+	s := 0.0
+	if f > 0 {
+		s += f * structSim
+	}
+	if f < 1 {
+		s += (1 - f) * cx.Content(a, b)
+	}
+	if cx.ItemCache != nil {
+		cx.ItemCache.store(key, s)
+	}
+	return s
+}
+
+// MatchCount returns |matchγ(tr1, tr2)| — exactly len(MatchSet(tr1, tr2)) —
+// without materializing the set. sc may be nil (a pooled scratch is used);
+// pass a per-goroutine Scratch on hot paths to stay allocation-free.
+func (cx *Context) MatchCount(tr1, tr2 *txn.Transaction, sc *Scratch) int {
+	sc, pooled := getScratch(sc)
+	n, _ := cx.matchKernel(tr1, tr2, sc, -1, 0)
+	putScratch(sc, pooled)
+	return n
+}
+
+// MatchSet computes matchγ(tr1, tr2) = matchγ(tr1→tr2) ∪ matchγ(tr2→tr1):
+// the set of γ-shared items (see the kernel comment for the tie rule). It
+// is a thin materializing wrapper over the count kernel. No production
+// path needs the set anymore — the assignment and objective paths use
+// MatchCount / TransactionsAtLeast — but it stays exported as the
+// readable specification of the match semantics and the oracle the
+// equivalence tests pin the count-only kernel against.
+func (cx *Context) MatchSet(tr1, tr2 *txn.Transaction) map[txn.ItemID]struct{} {
+	n1, n2 := tr1.Len(), tr2.Len()
+	shared := make(map[txn.ItemID]struct{}, n1+n2)
+	if n1 == 0 || n2 == 0 {
+		return shared
+	}
+	sc, pooled := getScratch(nil)
+	cx.matchKernel(tr1, tr2, sc, -1, 0)
+	for i := 0; i < n1; i++ {
+		if hasBit(sc.mark1, i) {
+			shared[tr1.Items[i]] = struct{}{}
+		}
+	}
+	for j := 0; j < n2; j++ {
+		if hasBit(sc.mark2, j) {
+			shared[tr2.Items[j]] = struct{}{}
+		}
+	}
+	putScratch(sc, pooled)
+	return shared
+}
+
+// Transactions computes simγJ(tr1, tr2) = |matchγ(tr1,tr2)| / |tr1 ∪ tr2|
+// (Eq. 4), in [0,1]. sc may be nil (a pooled scratch is borrowed for the
+// call); with a warm caller-owned Scratch the evaluation performs zero heap
+// allocations.
+func (cx *Context) Transactions(tr1, tr2 *txn.Transaction, sc *Scratch) float64 {
+	cx.Counters.TxnSims.Add(1)
+	u := txn.UnionSize(tr1, tr2)
+	if u == 0 {
+		return 0
+	}
+	sc, pooled := getScratch(sc)
+	n, _ := cx.matchKernel(tr1, tr2, sc, -1, u)
+	putScratch(sc, pooled)
+	return float64(n) / float64(u)
+}
+
+// TransactionsAtLeast is Transactions with exact branch-and-bound pruning:
+// it returns simγJ(tr1, tr2) whenever that value can exceed threshold, and
+// bails out early — returning threshold itself — as soon as the running
+// upper bound proves even a perfect remainder cannot beat it. Callers that
+// keep a running maximum and compare with a strict `>` (Relocate's argmax
+// over representatives) therefore make byte-identical decisions with
+// pruning on or off; ties keep resolving to the earlier candidate either
+// way. A negative threshold disables pruning, making the call exactly
+// equivalent to Transactions.
+//
+// The skipped work is counted in Counters.PrunedRows (tr1 rows whose item
+// similarities were never evaluated).
+func (cx *Context) TransactionsAtLeast(tr1, tr2 *txn.Transaction, threshold float64, sc *Scratch) float64 {
+	cx.Counters.TxnSims.Add(1)
+	u := txn.UnionSize(tr1, tr2)
+	if u == 0 {
+		return 0
+	}
+	sc, pooled := getScratch(sc)
+	n, completed := cx.matchKernel(tr1, tr2, sc, threshold, u)
+	putScratch(sc, pooled)
+	if !completed {
+		return threshold
+	}
+	return float64(n) / float64(u)
+}

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlclust/internal/txn"
+	"xmlclust/internal/vector"
+	"xmlclust/internal/xmltree"
+)
+
+// referenceMatchSet is the seed (pre-kernel) MatchSet implementation, kept
+// verbatim as the oracle for the property tests: two item slices, an n1×n2
+// matrix and a result map allocated per call, and per-element index
+// arithmetic in the directional scans. The kernel must reproduce its
+// output exactly — including the "ties all qualify" rule — while
+// allocating nothing. A second verbatim copy lives as seedTransactions in
+// internal/cluster/bench_test.go (the speedup-vs-seed baseline); both are
+// frozen snapshots of the seed code and must only change together.
+func referenceMatchSet(cx *Context, tr1, tr2 *txn.Transaction) map[txn.ItemID]struct{} {
+	n1, n2 := tr1.Len(), tr2.Len()
+	shared := make(map[txn.ItemID]struct{}, n1+n2)
+	if n1 == 0 || n2 == 0 {
+		return shared
+	}
+	items1 := make([]*txn.Item, n1)
+	for i, id := range tr1.Items {
+		items1[i] = cx.Items.Get(id)
+	}
+	items2 := make([]*txn.Item, n2)
+	for j, id := range tr2.Items {
+		items2[j] = cx.Items.Get(id)
+	}
+	simM := make([]float64, n1*n2)
+	for i, a := range items1 {
+		row := simM[i*n2 : (i+1)*n2]
+		for j, b := range items2 {
+			row[j] = cx.Item(a, b)
+		}
+	}
+	gamma := cx.Params.Gamma
+	for j := 0; j < n2; j++ {
+		best := -1.0
+		for i := 0; i < n1; i++ {
+			if s := simM[i*n2+j]; s > best {
+				best = s
+			}
+		}
+		if best < gamma {
+			continue
+		}
+		for i := 0; i < n1; i++ {
+			if simM[i*n2+j] == best {
+				shared[tr1.Items[i]] = struct{}{}
+			}
+		}
+	}
+	for i := 0; i < n1; i++ {
+		best := -1.0
+		for j := 0; j < n2; j++ {
+			if s := simM[i*n2+j]; s > best {
+				best = s
+			}
+		}
+		if best < gamma {
+			continue
+		}
+		for j := 0; j < n2; j++ {
+			if simM[i*n2+j] == best {
+				shared[tr2.Items[j]] = struct{}{}
+			}
+		}
+	}
+	return shared
+}
+
+// referenceTransactions is the seed Eq. 4 evaluation on top of
+// referenceMatchSet.
+func referenceTransactions(cx *Context, tr1, tr2 *txn.Transaction) float64 {
+	u := txn.UnionSize(tr1, tr2)
+	if u == 0 {
+		return 0
+	}
+	return float64(len(referenceMatchSet(cx, tr1, tr2))) / float64(u)
+}
+
+// randomKernelCorpus builds a synthetic corpus straight from the interning
+// tables: nItems items over a deliberately small path and vector vocabulary
+// (so exact similarity ties — the case that makes naive pruning bounds
+// unsound — occur constantly) and nTxns random transactions over them,
+// including empty and single-item ones.
+func randomKernelCorpus(rng *rand.Rand, nItems, nTxns int) *txn.Corpus {
+	paths := xmltree.NewPathTable()
+	tags := []string{"a", "b", "c"}
+	var pids []xmltree.PathID
+	for _, t1 := range tags {
+		for _, t2 := range tags {
+			pids = append(pids, paths.Intern(xmltree.Path{"root", t1, t2, "S"}))
+		}
+	}
+	// Four vector patterns shared across many items: identical contents at
+	// identical paths intern to the same item, identical contents at
+	// different paths force exact content-cosine ties.
+	vecs := []map[int32]float64{
+		{1: 1.0},
+		{1: 0.5, 2: 0.5},
+		{3: 1.0, 4: 0.25},
+		{5: 0.75},
+	}
+	answers := []string{"x", "y", "z", "w"}
+	items := txn.NewItemTable(paths)
+	var ids []txn.ItemID
+	for i := 0; i < nItems; i++ {
+		v := rng.Intn(len(vecs))
+		id := items.Intern(pids[rng.Intn(len(pids))], answers[v]+answers[rng.Intn(len(answers))])
+		items.SetVector(id, vector.FromMap(vecs[v]))
+		ids = append(ids, id)
+	}
+	trs := make([]*txn.Transaction, nTxns)
+	for i := range trs {
+		n := rng.Intn(9) // 0..8 items, duplicates removed by NewTransaction
+		pick := make([]txn.ItemID, n)
+		for j := range pick {
+			pick[j] = ids[rng.Intn(len(ids))]
+		}
+		trs[i] = txn.NewTransaction(pick, i, 0, -1)
+	}
+	return &txn.Corpus{Paths: paths, Items: items, Transactions: trs}
+}
+
+var kernelParamsGrid = []Params{
+	{F: 0, Gamma: 0},
+	{F: 0, Gamma: 0.9},
+	{F: 0.5, Gamma: 0.4},
+	{F: 0.5, Gamma: 0.8},
+	{F: 1, Gamma: 0.6},
+	{F: 1, Gamma: 0.999},
+}
+
+// TestMatchCountEqualsMatchSet pins the count-only kernel to the
+// materialized set on randomized corpora: MatchCount == len(MatchSet) ==
+// len(referenceMatchSet) for every pair and every params combination, and
+// the three Eq. 4 readings (Transactions, TransactionsAtLeast with a
+// negative threshold, the seed reference) agree bit for bit.
+func TestMatchCountEqualsMatchSet(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		corpus := randomKernelCorpus(rng, 20+rng.Intn(40), 12)
+		for _, p := range kernelParamsGrid {
+			cx := NewContext(corpus, p)
+			sc := NewScratch()
+			for _, tr1 := range corpus.Transactions {
+				for _, tr2 := range corpus.Transactions {
+					ref := referenceMatchSet(cx, tr1, tr2)
+					if got := cx.MatchCount(tr1, tr2, sc); got != len(ref) {
+						t.Fatalf("seed %d params %+v: MatchCount = %d, reference set has %d",
+							seed, p, got, len(ref))
+					}
+					set := cx.MatchSet(tr1, tr2)
+					if len(set) != len(ref) {
+						t.Fatalf("seed %d params %+v: MatchSet size %d, reference %d", seed, p, len(set), len(ref))
+					}
+					for id := range ref {
+						if _, ok := set[id]; !ok {
+							t.Fatalf("seed %d params %+v: item %d missing from MatchSet", seed, p, id)
+						}
+					}
+					want := referenceTransactions(cx, tr1, tr2)
+					if got := cx.Transactions(tr1, tr2, sc); got != want {
+						t.Fatalf("seed %d params %+v: Transactions = %v, reference %v", seed, p, got, want)
+					}
+					if got := cx.TransactionsAtLeast(tr1, tr2, -1, sc); got != want {
+						t.Fatalf("seed %d params %+v: TransactionsAtLeast(-1) = %v, reference %v",
+							seed, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransactionsAtLeastExactDecisions verifies the branch-and-bound
+// contract on random thresholds: whenever the true similarity exceeds the
+// threshold the pruned call must return it exactly, and whenever it bails
+// the returned value must not beat the threshold under a strict >
+// comparison — the two cases an argmax caller distinguishes.
+func TestTransactionsAtLeastExactDecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	corpus := randomKernelCorpus(rng, 50, 16)
+	for _, p := range kernelParamsGrid {
+		cx := NewContext(corpus, p)
+		sc := NewScratch()
+		for _, tr1 := range corpus.Transactions {
+			for _, tr2 := range corpus.Transactions {
+				full := cx.Transactions(tr1, tr2, sc)
+				for _, thr := range []float64{0, rng.Float64(), full, 0.99, 1} {
+					got := cx.TransactionsAtLeast(tr1, tr2, thr, sc)
+					if full > thr && got != full {
+						t.Fatalf("params %+v thr %v: pruned call returned %v, want exact %v", p, thr, got, full)
+					}
+					if full <= thr && got > thr {
+						t.Fatalf("params %+v thr %v: bailed call returned %v > threshold (true %v)", p, thr, got, full)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedRowsCounterAdvances: a high threshold against a dissimilar pair
+// must actually skip rows, and the skips must be visible in the counter.
+func TestPrunedRowsCounterAdvances(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	corpus := randomKernelCorpus(rng, 60, 20)
+	cx := NewContext(corpus, Params{F: 0.5, Gamma: 0.9})
+	sc := NewScratch()
+	before := cx.Counters.PrunedRows.Load()
+	for _, tr1 := range corpus.Transactions {
+		for _, tr2 := range corpus.Transactions {
+			cx.TransactionsAtLeast(tr1, tr2, 0.97, sc)
+		}
+	}
+	if cx.Counters.PrunedRows.Load() == before {
+		t.Error("PrunedRows never advanced despite a near-1 threshold")
+	}
+}
+
+// TestScratchReusesCounter: the second kernel call on the same scratch and
+// shape must count as a warm reuse.
+func TestScratchReusesCounter(t *testing.T) {
+	cx, corpus := buildCtx(t, 0.5, 0.6)
+	trs := corpus.Transactions
+	sc := NewScratch()
+	cx.Transactions(trs[0], trs[1], sc)
+	before := cx.Counters.ScratchReuses.Load()
+	cx.Transactions(trs[0], trs[1], sc)
+	if cx.Counters.ScratchReuses.Load() != before+1 {
+		t.Error("second call on a warm scratch did not count as a reuse")
+	}
+}
+
+// TestTransactionsZeroAllocWarmScratch is the allocation-regression guard
+// (run standalone in the CI lint job): with a warm caller-owned Scratch and
+// a warm path cache, Transactions must perform exactly zero heap
+// allocations per evaluation. MatchCount and TransactionsAtLeast share the
+// kernel and are pinned too.
+func TestTransactionsZeroAllocWarmScratch(t *testing.T) {
+	cx, corpus := buildCtx(t, 0.5, 0.6)
+	trs := corpus.Transactions
+	sc := NewScratch()
+	// Warm the scratch buffers and the Eq. 3 pair cache.
+	for _, tr1 := range trs {
+		for _, tr2 := range trs {
+			cx.Transactions(tr1, tr2, sc)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		cx.Transactions(trs[0], trs[1], sc)
+	}); avg != 0 {
+		t.Errorf("Transactions with warm scratch allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		cx.MatchCount(trs[0], trs[1], sc)
+	}); avg != 0 {
+		t.Errorf("MatchCount with warm scratch allocates %.2f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		cx.TransactionsAtLeast(trs[0], trs[1], 0.5, sc)
+	}); avg != 0 {
+		t.Errorf("TransactionsAtLeast with warm scratch allocates %.2f/op, want 0", avg)
+	}
+}
+
+// kernelBenchFixture prepares a mid-sized random corpus and a warmed
+// context so the benchmarks measure the kernel, not first-touch cache
+// fills.
+func kernelBenchFixture(b *testing.B) (*Context, []*txn.Transaction) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(5))
+	corpus := randomKernelCorpus(rng, 120, 32)
+	cx := NewContext(corpus, Params{F: 0.5, Gamma: 0.7})
+	sc := NewScratch()
+	for _, tr1 := range corpus.Transactions {
+		for _, tr2 := range corpus.Transactions {
+			cx.Transactions(tr1, tr2, sc) // warm the path cache
+		}
+	}
+	return cx, corpus.Transactions
+}
+
+// BenchmarkMatchKernelCold evaluates every pair with a fresh Scratch per
+// evaluation — the price of first-touch buffer growth.
+func BenchmarkMatchKernelCold(b *testing.B) {
+	cx, trs := kernelBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr1 := trs[i%len(trs)]
+		tr2 := trs[(i+7)%len(trs)]
+		cx.Transactions(tr1, tr2, NewScratch())
+	}
+}
+
+// BenchmarkMatchKernelWarm is the steady state: one Scratch reused across
+// evaluations, 0 allocs/op.
+func BenchmarkMatchKernelWarm(b *testing.B) {
+	cx, trs := kernelBenchFixture(b)
+	sc := NewScratch()
+	cx.Transactions(trs[0], trs[1], sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr1 := trs[i%len(trs)]
+		tr2 := trs[(i+7)%len(trs)]
+		cx.Transactions(tr1, tr2, sc)
+	}
+}
+
+// BenchmarkMatchKernelSeed is the seed implementation on the same pair
+// stream — the baseline the kernel's allocs/op and ns/op are judged
+// against.
+func BenchmarkMatchKernelSeed(b *testing.B) {
+	cx, trs := kernelBenchFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr1 := trs[i%len(trs)]
+		tr2 := trs[(i+7)%len(trs)]
+		referenceTransactions(cx, tr1, tr2)
+	}
+}

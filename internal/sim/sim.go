@@ -8,10 +8,27 @@
 //   - the γ-shared-item transaction similarity simγJ (Eq. 4) built on the
 //     enhanced-intersection match sets matchγ.
 //
-// A Context carries the parameters (f, γ) and the collection tables, and
-// owns the precomputed tag-path pair similarity cache that Sect. 4.3.2
-// identifies as the key optimization (the input tag-path set is fixed, so
-// pairwise structural similarities are computed once).
+// A Context carries the parameters (f, γ) and the collection tables. The
+// implementation is organized as three performance tiers, from coldest to
+// hottest:
+//
+//  1. PathCache — the sharded store of Eq. 3 tag-path pair similarities,
+//     the precomputation Sect. 4.3.2 identifies as the key optimization.
+//     Values depend only on the paths and the Δ function, never on (f, γ),
+//     so one cache serves every parameter combination over a corpus.
+//  2. ItemSimCache — a bounded, per-(f, γ) memo of Eq. 1 item-pair values
+//     (content cosine + structural lookup + f-mix), enabled by Engine
+//     contexts; γ-matching re-asks the same pairs every relocation pass.
+//  3. The match kernel (kernel.go) — the allocation-free Eq. 4 inner loop.
+//     A per-goroutine Scratch holds the item-pointer slices, similarity
+//     matrix and match bitsets, grown in place and reused; MatchCount
+//     produces |matchγ| without materializing a set, and
+//     TransactionsAtLeast adds exact branch-and-bound row pruning for
+//     argmax callers. MatchSet remains as a thin materializing wrapper.
+//
+// None of the tiers ever changes a result: the caches store pure functions
+// of their keys, and the kernel's count and pruning decisions are exact
+// (equivalence- and allocation-guarded in kernel_test.go and CI).
 package sim
 
 import (
@@ -38,10 +55,17 @@ type Params struct {
 type Counters struct {
 	ItemSims      atomic.Int64 // calls to Item (Eq. 1)
 	PathSims      atomic.Int64 // structural path alignments actually computed
-	TxnSims       atomic.Int64 // calls to Transactions (Eq. 4)
+	TxnSims       atomic.Int64 // calls to Transactions/TransactionsAtLeast (Eq. 4)
 	CacheHits     atomic.Int64 // path-pair cache hits
 	CacheMisses   atomic.Int64
 	ItemCacheHits atomic.Int64 // item-pair cache hits (engine contexts only)
+	// PrunedRows counts tr1 rows (one row = up to |tr2| Eq. 1 evaluations)
+	// skipped by TransactionsAtLeast's branch-and-bound bound — the work the
+	// assignment path avoided without changing any result.
+	PrunedRows atomic.Int64
+	// ScratchReuses counts kernel invocations that ran on a fully warm
+	// Scratch (no buffer had to grow) — the zero-allocation steady state.
+	ScratchReuses atomic.Int64
 }
 
 // Context evaluates similarities for one corpus under fixed Params.
@@ -420,79 +444,5 @@ func (cx *Context) Matched(a, b *txn.Item) bool {
 	return cx.Item(a, b) >= cx.Params.Gamma
 }
 
-// MatchSet computes matchγ(tr1, tr2) = matchγ(tr1→tr2) ∪ matchγ(tr2→tr1):
-// the set of γ-shared items. An item e ∈ tr_i belongs to matchγ(tr_i→tr_j)
-// iff some e_h ∈ tr_j has sim(e, e_h) ≥ γ and no other item of tr_i matches
-// that e_h strictly better (ties all qualify).
-//
-// The pairwise similarity matrix is computed once and reused for both
-// directions.
-func (cx *Context) MatchSet(tr1, tr2 *txn.Transaction) map[txn.ItemID]struct{} {
-	n1, n2 := tr1.Len(), tr2.Len()
-	shared := make(map[txn.ItemID]struct{}, n1+n2)
-	if n1 == 0 || n2 == 0 {
-		return shared
-	}
-	items1 := make([]*txn.Item, n1)
-	for i, id := range tr1.Items {
-		items1[i] = cx.Items.Get(id)
-	}
-	items2 := make([]*txn.Item, n2)
-	for j, id := range tr2.Items {
-		items2[j] = cx.Items.Get(id)
-	}
-	simM := make([]float64, n1*n2)
-	for i, a := range items1 {
-		row := simM[i*n2 : (i+1)*n2]
-		for j, b := range items2 {
-			row[j] = cx.Item(a, b)
-		}
-	}
-	gamma := cx.Params.Gamma
-	// Direction tr1 → tr2: for each e_h ∈ tr2, the best matchers from tr1.
-	for j := 0; j < n2; j++ {
-		best := -1.0
-		for i := 0; i < n1; i++ {
-			if s := simM[i*n2+j]; s > best {
-				best = s
-			}
-		}
-		if best < gamma {
-			continue
-		}
-		for i := 0; i < n1; i++ {
-			if simM[i*n2+j] == best {
-				shared[tr1.Items[i]] = struct{}{}
-			}
-		}
-	}
-	// Direction tr2 → tr1.
-	for i := 0; i < n1; i++ {
-		best := -1.0
-		for j := 0; j < n2; j++ {
-			if s := simM[i*n2+j]; s > best {
-				best = s
-			}
-		}
-		if best < gamma {
-			continue
-		}
-		for j := 0; j < n2; j++ {
-			if simM[i*n2+j] == best {
-				shared[tr2.Items[j]] = struct{}{}
-			}
-		}
-	}
-	return shared
-}
-
-// Transactions computes simγJ(tr1, tr2) = |matchγ(tr1,tr2)| / |tr1 ∪ tr2|
-// (Eq. 4), in [0,1].
-func (cx *Context) Transactions(tr1, tr2 *txn.Transaction) float64 {
-	cx.Counters.TxnSims.Add(1)
-	u := txn.UnionSize(tr1, tr2)
-	if u == 0 {
-		return 0
-	}
-	return float64(len(cx.MatchSet(tr1, tr2))) / float64(u)
-}
+// MatchSet, MatchCount, Transactions and TransactionsAtLeast — the Eq. 4
+// surface — live in kernel.go with the allocation-free match kernel.

@@ -183,8 +183,8 @@ func TestTransactionsSimRangeAndSymmetry(t *testing.T) {
 	trs := corpus.Transactions
 	for i := range trs {
 		for j := range trs {
-			s1 := cx.Transactions(trs[i], trs[j])
-			s2 := cx.Transactions(trs[j], trs[i])
+			s1 := cx.Transactions(trs[i], trs[j], nil)
+			s2 := cx.Transactions(trs[j], trs[i], nil)
 			if !approx(s1, s2) {
 				t.Fatalf("asymmetric txn sim %d,%d: %v vs %v", i, j, s1, s2)
 			}
@@ -198,7 +198,7 @@ func TestTransactionsSimRangeAndSymmetry(t *testing.T) {
 func TestTransactionsSelfSimIsOne(t *testing.T) {
 	cx, corpus := buildCtx(t, 0.5, 0.6)
 	for _, tr := range corpus.Transactions {
-		if got := cx.Transactions(tr, tr); !approx(got, 1) {
+		if got := cx.Transactions(tr, tr, nil); !approx(got, 1) {
 			t.Errorf("self sim = %v, want 1", got)
 		}
 	}
@@ -208,8 +208,8 @@ func TestSimilarRecordsBeatDissimilar(t *testing.T) {
 	cx, corpus := buildCtx(t, 0.5, 0.6)
 	trs := corpus.Transactions
 	// trs[0], trs[1] are the two near-identical papers; trs[2] the report.
-	sTwin := cx.Transactions(trs[0], trs[1])
-	sFar := cx.Transactions(trs[0], trs[2])
+	sTwin := cx.Transactions(trs[0], trs[1], nil)
+	sFar := cx.Transactions(trs[0], trs[2], nil)
 	if sTwin <= sFar {
 		t.Errorf("twin sim %v should exceed far sim %v", sTwin, sFar)
 	}
@@ -248,8 +248,10 @@ func TestPathCacheCountsAndEquivalence(t *testing.T) {
 	trs := corpus.Transactions
 	for i := range trs {
 		for j := range trs {
-			a := cxOn.Transactions(trs[i], trs[j])
-			b := cxOff.Transactions(trs[i], trs[j])
+			// Fresh scratches so cross-pair structural reuse exercises the
+			// shared PathCache rather than the scratch-local memo.
+			a := cxOn.Transactions(trs[i], trs[j], NewScratch())
+			b := cxOff.Transactions(trs[i], trs[j], NewScratch())
 			if !approx(a, b) {
 				t.Fatalf("cache changed result: %v vs %v", a, b)
 			}
@@ -270,7 +272,7 @@ func TestPathCacheCountsAndEquivalence(t *testing.T) {
 func TestCountersAdvance(t *testing.T) {
 	cx, corpus := buildCtx(t, 0.5, 0.6)
 	before := cx.Counters.TxnSims.Load()
-	cx.Transactions(corpus.Transactions[0], corpus.Transactions[1])
+	cx.Transactions(corpus.Transactions[0], corpus.Transactions[1], nil)
 	if cx.Counters.TxnSims.Load() != before+1 {
 		t.Error("TxnSims not incremented")
 	}
@@ -286,7 +288,7 @@ func TestGammaMonotonicity(t *testing.T) {
 	prev := math.Inf(1)
 	for _, gamma := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
 		cx := NewContext(corpus, Params{F: 0.5, Gamma: gamma})
-		s := cx.Transactions(trs[0], trs[1])
+		s := cx.Transactions(trs[0], trs[1], nil)
 		if s > prev+1e-9 {
 			t.Fatalf("simγJ increased when γ rose to %v: %v > %v", gamma, s, prev)
 		}
@@ -306,7 +308,7 @@ func BenchmarkTransactionSim(b *testing.B) {
 	trs := corpus.Transactions
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cx.Transactions(trs[i%len(trs)], trs[(i+1)%len(trs)])
+		cx.Transactions(trs[i%len(trs)], trs[(i+1)%len(trs)], nil)
 	}
 }
 

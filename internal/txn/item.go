@@ -131,6 +131,18 @@ func (it *ItemTable) Get(id ItemID) *Item {
 	return it.items[id]
 }
 
+// Resolve fills out (which must have len(ids)) with the items of ids under
+// a single lock acquisition — the bulk form of Get for hot loops that
+// dereference whole transactions (the similarity kernel resolves both
+// sides of every pair; one lock per transaction instead of one per item).
+func (it *ItemTable) Resolve(ids []ItemID, out []*Item) {
+	it.mu.RLock()
+	for i, id := range ids {
+		out[i] = it.items[id]
+	}
+	it.mu.RUnlock()
+}
+
 // Len returns the number of interned items.
 func (it *ItemTable) Len() int {
 	it.mu.RLock()

@@ -317,6 +317,16 @@ type Result struct {
 	TrafficMsgs  int64
 	// K echoes the cluster count.
 	K int
+	// PrunedRows counts the match-matrix rows (≈ item-similarity
+	// evaluations × representative size) the assignment path skipped via
+	// the similarity kernel's exact branch-and-bound — work saved without
+	// changing any assignment. ScratchReuses counts kernel invocations that
+	// ran on a fully warm, zero-allocation Scratch. Both are deltas of the
+	// job's similarity context; jobs of one Sweep that share a (F, Gamma)
+	// context and run concurrently may attribute overlap to one cell, but
+	// the totals across cells are exact.
+	PrunedRows    int64
+	ScratchReuses int64
 }
 
 // Cluster runs one clustering job on a throwaway Engine and blocks until
