@@ -1,0 +1,125 @@
+package xmlclust
+
+import (
+	"context"
+	"fmt"
+
+	"xmlclust/internal/cluster"
+	"xmlclust/internal/parallel"
+	"xmlclust/internal/sim"
+	"xmlclust/internal/tuple"
+	"xmlclust/internal/txn"
+)
+
+// ClassifyOptions configures a read-only classification job: assigning
+// transactions to a fixed representative set without running a clustering
+// round. The similarity knobs mirror ClusterOptions.
+type ClassifyOptions struct {
+	// F ∈ [0,1] balances structural vs content similarity (Eq. 1).
+	F float64
+	// Gamma ∈ [0,1] is the γ-matching threshold (Eq. 2).
+	Gamma float64
+	// Workers bounds the goroutines scanning the transactions (0 = one per
+	// CPU, 1 = serial; negative values are rejected with an *OptionsError).
+	// The assignment is byte-identical for every legal value.
+	Workers int
+	// MaxTuplesPerTree caps tuple extraction in Engine.Classify
+	// (0 = tuple package default). It should match the cap the corpus was
+	// built with so documents decompose the same way on both paths.
+	MaxTuplesPerTree int
+}
+
+// Classification is the outcome of classifying one document (or an explicit
+// transaction set) against a fixed representative set.
+type Classification struct {
+	// Cluster is the document-level majority vote over Assign (ties to the
+	// lower cluster id; TrashCluster when every transaction landed in the
+	// trash).
+	Cluster int
+	// Assign maps input transaction index → cluster in [0,len(reps)) or
+	// TrashCluster.
+	Assign []int
+	// Sims holds the winning similarity per transaction (0 for trash).
+	Sims []float64
+	// PrunedRows and ScratchReuses are the similarity-kernel counter deltas
+	// of this call (see Result for their meaning; the same concurrency
+	// attribution caveat applies).
+	PrunedRows    int64
+	ScratchReuses int64
+}
+
+// ClassifyTransactions assigns each transaction to its most similar
+// representative — the relocation step of CXK-means under a frozen
+// representative set, sharing the engine's warm similarity caches and the
+// branch-and-bound kernel. It is read-only with respect to clustering
+// state: no assignment, representative or corpus transaction is touched,
+// so it is safe to call concurrently with Cluster jobs on the same engine
+// (the serving layer does exactly that). ctx cancels the scan with an
+// error wrapping ErrCanceled; a nil ctx never cancels.
+func (e *Engine) ClassifyTransactions(ctx context.Context, trs []*Transaction, reps []*Transaction, opts ClassifyOptions) (*Classification, error) {
+	if err := validateKFGamma(1, opts.F, opts.Gamma); err != nil {
+		return nil, err
+	}
+	if err := validateRunOptions(0, opts.Workers, 0); err != nil {
+		return nil, err
+	}
+	cx := e.simContext(sim.Params{F: opts.F, Gamma: opts.Gamma})
+	prunedBefore := cx.Counters.PrunedRows.Load()
+	reusesBefore := cx.Counters.ScratchReuses.Load()
+
+	assign := make([]int, len(trs))
+	sims := make([]float64, len(trs))
+	scratches := make([]*sim.Scratch, parallel.WorkerCount(opts.Workers, len(trs)))
+	err := parallel.ForCtxWorkers(ctx, opts.Workers, len(trs), func(w, i int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = sim.NewScratch()
+			scratches[w] = sc
+		}
+		assign[i], sims[i] = cluster.RelocateOne(cx, trs[i], reps, sc)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("xmlclust: classify: %w: %w", ErrCanceled, err)
+	}
+	return &Classification{
+		Cluster:       MajorityCluster(assign),
+		Assign:        assign,
+		Sims:          sims,
+		PrunedRows:    cx.Counters.PrunedRows.Load() - prunedBefore,
+		ScratchReuses: cx.Counters.ScratchReuses.Load() - reusesBefore,
+	}, nil
+}
+
+// ExtractTransactions decomposes a parsed tree into transactions over the
+// engine's item domain WITHOUT adding the document to the corpus: unseen
+// paths and items are interned into the shared tables (append-only and
+// concurrency-safe — existing ids and similarities are unaffected), but
+// nothing is appended to the corpus's transaction set. The returned
+// transactions carry document id −1 to mark them transient.
+//
+// Items first seen here have zero content vectors until a weighting pass
+// assigns them, so their content similarity is 0 (structural similarity is
+// unaffected); the serving layer weights them with the accumulator's
+// frozen-itf online pass before classifying.
+func (e *Engine) ExtractTransactions(t *Tree, maxTuples int) []*Transaction {
+	res := tuple.Extract(t, tuple.Options{MaxTuplesPerTree: maxTuples})
+	out := make([]*Transaction, 0, len(res.Tuples))
+	for _, tt := range res.Tuples {
+		ids := make([]txn.ItemID, 0, len(tt.Leaves))
+		for _, lf := range tt.Leaves {
+			pid := e.corpus.Paths.Intern(lf.Path)
+			ids = append(ids, e.corpus.Items.Intern(pid, lf.Node.Value))
+		}
+		out = append(out, txn.NewTransaction(ids, -1, tt.Index, -1))
+	}
+	return out
+}
+
+// Classify extracts a document's transactions against the engine's item
+// domain and classifies them against reps, returning the per-transaction
+// assignment and the document-level majority cluster. The document is NOT
+// added to the corpus and no clustering state changes (see
+// ExtractTransactions for the interning and weighting caveats).
+func (e *Engine) Classify(ctx context.Context, t *Tree, reps []*Transaction, opts ClassifyOptions) (*Classification, error) {
+	return e.ClassifyTransactions(ctx, e.ExtractTransactions(t, opts.MaxTuplesPerTree), reps, opts)
+}

@@ -1,0 +1,184 @@
+package xmlclust
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestClassifyTransactionsFixedPoint: at convergence a clustering is a fixed
+// point of relocation, so classifying every corpus transaction against the
+// final representatives must reproduce the final assignment exactly, for any
+// worker count.
+func TestClassifyTransactionsFixedPoint(t *testing.T) {
+	corpus := sampleCorpus(t)
+	eng, err := NewEngine(corpus, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Cluster(context.Background(), ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		cls, err := eng.ClassifyTransactions(context.Background(), corpus.Transactions, res.Reps,
+			ClassifyOptions{F: 0.5, Gamma: 0.6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cls.Assign) != len(res.Assign) {
+			t.Fatalf("workers=%d: classify returned %d assignments, want %d", workers, len(cls.Assign), len(res.Assign))
+		}
+		for i := range cls.Assign {
+			if cls.Assign[i] != res.Assign[i] {
+				t.Errorf("workers=%d: transaction %d classified to %d, clustering assigned %d",
+					workers, i, cls.Assign[i], res.Assign[i])
+			}
+			if cls.Assign[i] != TrashCluster && cls.Sims[i] <= 0 {
+				t.Errorf("workers=%d: transaction %d in cluster %d with sim %g", workers, i, cls.Assign[i], cls.Sims[i])
+			}
+		}
+	}
+}
+
+func TestClassifyEmptyRepsIsTrash(t *testing.T) {
+	corpus := sampleCorpus(t)
+	eng, err := NewEngine(corpus, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, err := eng.ClassifyTransactions(context.Background(), corpus.Transactions, nil,
+		ClassifyOptions{F: 0.5, Gamma: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Cluster != TrashCluster {
+		t.Fatalf("no representatives but majority cluster %d", cls.Cluster)
+	}
+	for i, cl := range cls.Assign {
+		if cl != TrashCluster {
+			t.Errorf("transaction %d assigned to %d with no representatives", i, cl)
+		}
+	}
+}
+
+// TestClassifyDocument: a held-out document classifies into the cluster of
+// its topic, and the read-only contract holds — the corpus transaction set
+// does not grow and the extracted transactions are marked transient.
+func TestClassifyDocument(t *testing.T) {
+	corpus := sampleCorpus(t)
+	eng, err := NewEngine(corpus, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Cluster(context.Background(), ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := DocumentClusters(corpus, res.Assign)
+
+	held := `<catalog><sw key="ax"><name>photo editor holdout</name><vendor>acme soft</vendor><platform>linux</platform></sw></catalog>`
+	tree, err := ParseString(held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txnsBefore := len(corpus.Transactions)
+	trs := eng.ExtractTransactions(tree, 0)
+	if len(trs) == 0 {
+		t.Fatal("no transactions extracted from held-out doc")
+	}
+	for _, tr := range trs {
+		if tr.Doc != -1 {
+			t.Fatalf("transient transaction carries doc id %d, want -1", tr.Doc)
+		}
+	}
+	if len(corpus.Transactions) != txnsBefore {
+		t.Fatalf("ExtractTransactions grew the corpus: %d → %d", txnsBefore, len(corpus.Transactions))
+	}
+
+	cls, err := eng.Classify(context.Background(), tree, res.Reps, ClassifyOptions{F: 0.5, Gamma: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := dc[0]; cls.Cluster != want { // docs 0-2 are the sw topic
+		t.Fatalf("held-out sw doc classified to %d, corpus sw docs sit in %d", cls.Cluster, want)
+	}
+	if len(corpus.Transactions) != txnsBefore {
+		t.Fatalf("Classify grew the corpus: %d → %d", txnsBefore, len(corpus.Transactions))
+	}
+}
+
+func TestClassifyCancellation(t *testing.T) {
+	corpus := sampleCorpus(t)
+	eng, err := NewEngine(corpus, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Cluster(context.Background(), ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.ClassifyTransactions(ctx, corpus.Transactions, res.Reps,
+		ClassifyOptions{F: 0.5, Gamma: 0.6}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled classify: got %v, want ErrCanceled", err)
+	}
+}
+
+// TestEngineConcurrentClusterClassify hammers one engine with clustering and
+// read-only classification from many goroutines at once. The shared
+// PathCache, ItemSimCache and params-keyed sim contexts must tolerate this;
+// run under -race this is the regression test for the serving layer's
+// concurrency contract.
+func TestEngineConcurrentClusterClassify(t *testing.T) {
+	corpus := sampleCorpus(t)
+	eng, err := NewEngine(corpus, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Cluster(context.Background(), ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := eng.Cluster(context.Background(),
+					ClusterOptions{K: 2, F: 0.5, Gamma: 0.6, Seed: seed, Workers: 2}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(int64(g + 1))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				cls, err := eng.ClassifyTransactions(context.Background(), corpus.Transactions, res.Reps,
+					ClassifyOptions{F: 0.5, Gamma: 0.6, Workers: 2})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range cls.Assign {
+					if cls.Assign[j] != res.Assign[j] {
+						errs <- errors.New("concurrent classify diverged from the converged assignment")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

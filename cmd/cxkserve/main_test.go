@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// e2eDocs is a small two-topic collection, separable at k=2 with γ=0.3
+// (cross-topic item similarity is zero there, so any seed separates it).
+func e2eDocs() []string {
+	var docs []string
+	for i := 0; i < 4; i++ {
+		docs = append(docs, fmt.Sprintf(`<db><paper key="p%d">
+			<writer>alice cooper</writer>
+			<name>mining frequent patterns number%d</name>
+			<venue>KDD</venue>
+		</paper></db>`, i, i))
+	}
+	for i := 0; i < 4; i++ {
+		docs = append(docs, fmt.Sprintf(`<db><report key="r%d">
+			<editor>bob dylan</editor>
+			<heading>routing wireless networks number%d</heading>
+			<lab>NETLAB</lab>
+		</report></db>`, i, i))
+	}
+	return docs
+}
+
+// buildServeBinary compiles cxkserve into dir (skipping when no toolchain).
+func buildServeBinary(t *testing.T, dir string) string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+	bin := filepath.Join(dir, "cxkserve")
+	build := exec.Command(goBin, "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cxkserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// reserveAddr picks a loopback address that is free right now.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("cxkserve never became healthy")
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decoding response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestE2EServeHTTP drives a real cxkserve process over HTTP: seed a corpus
+// directory, start the daemon, add more documents, refresh, classify a
+// held-out document, query stats, and shut the process down with SIGINT.
+func TestE2EServeHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping process e2e in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildServeBinary(t, dir)
+	docs := e2eDocs()
+
+	// Seed directory with the first six documents; the last two arrive over
+	// HTTP. Names are zero-padded so the lexical walk preserves add order.
+	seedDir := filepath.Join(dir, "seed")
+	if err := os.Mkdir(seedDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, doc := range docs[:6] {
+		if err := os.WriteFile(filepath.Join(seedDir, fmt.Sprintf("doc%02d.xml", i)), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	addr := reserveAddr(t)
+	base := "http://" + addr
+	cmd := exec.Command(bin,
+		"-listen", addr,
+		"-corpus", seedDir,
+		"-k", "2", "-f", "0.5", "-gamma", "0.3", "-seed", "7",
+		"-maintenance", "100ms",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	waitHealthy(t, base)
+
+	// The seed ingest must have clustered the six documents already.
+	var st struct {
+		LiveDocs  int   `json:"live_docs"`
+		Trash     int   `json:"trash"`
+		Refreshes int   `json:"refreshes"`
+		Sizes     []int `json:"cluster_sizes"`
+	}
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.LiveDocs != 6 || st.Refreshes != 1 || st.Trash != 0 {
+		t.Fatalf("stats after seed ingest: %+v", st)
+	}
+
+	// Add the remaining documents over HTTP and force a refresh.
+	for i, doc := range docs[6:] {
+		var info struct {
+			ID int `json:"id"`
+		}
+		if code := postJSON(t, base+"/v1/documents", map[string]any{
+			"name": fmt.Sprintf("doc%02d.xml", 6+i), "xml": doc,
+		}, &info); code != http.StatusCreated {
+			t.Fatalf("add doc %d: status %d", 6+i, code)
+		}
+		if info.ID != 6+i {
+			t.Fatalf("doc %d got id %d", 6+i, info.ID)
+		}
+	}
+	if code := postJSON(t, base+"/v1/refresh", nil, &st); code != http.StatusOK {
+		t.Fatalf("refresh: status %d", code)
+	}
+	if st.LiveDocs != 8 || st.Trash != 0 {
+		t.Fatalf("stats after refresh: %+v", st)
+	}
+	for _, n := range st.Sizes {
+		if n != 4 {
+			t.Fatalf("cluster sizes %v, want [4 4]", st.Sizes)
+		}
+	}
+
+	// A held-out report must classify with the stored reports (doc 4 is a
+	// report in the seed set).
+	var cl struct {
+		Cluster int `json:"cluster"`
+	}
+	if code := postJSON(t, base+"/v1/classify", map[string]any{
+		"xml": `<db><report key="rx"><editor>bob dylan</editor><heading>routing wireless networks holdout</heading><lab>NETLAB</lab></report></db>`,
+	}, &cl); code != http.StatusOK {
+		t.Fatalf("classify: status %d", code)
+	}
+	var report struct {
+		Cluster int `json:"cluster"`
+	}
+	resp, err = http.Get(base + "/v1/documents/4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cl.Cluster != report.Cluster {
+		t.Fatalf("held-out report classified to %d, stored reports sit in %d", cl.Cluster, report.Cluster)
+	}
+
+	// Graceful shutdown: SIGINT drains and exits 130.
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var exitErr *exec.ExitError
+	if !asExitError(err, &exitErr) || exitErr.ExitCode() != 130 {
+		t.Fatalf("SIGINT exit: %v, want exit code 130", err)
+	}
+}
+
+func asExitError(err error, out **exec.ExitError) bool {
+	if e, ok := err.(*exec.ExitError); ok {
+		*out = e
+		return true
+	}
+	return false
+}

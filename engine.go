@@ -170,6 +170,39 @@ func validateKFGamma(k int, f, gamma float64) error {
 	return nil
 }
 
+// validateRunOptions checks the execution-shaping options: MaxRounds,
+// Workers and RoundTimeout must not be negative — zero always selects the
+// documented default, and negative values used to be accepted silently
+// while misbehaving downstream (a negative MaxRounds fell back to the
+// default round bound, a negative Workers aliased "one per CPU", a negative
+// RoundTimeout armed already-expired deadlines).
+func validateRunOptions(maxRounds, workers int, roundTimeout time.Duration) error {
+	if maxRounds < 0 {
+		return &OptionsError{Field: "MaxRounds", Value: float64(maxRounds), Reason: "round bound must not be negative; use 0 for the default"}
+	}
+	if workers < 0 {
+		return &OptionsError{Field: "Workers", Value: float64(workers), Reason: "worker count must not be negative; use 0 for one worker per CPU"}
+	}
+	if roundTimeout < 0 {
+		return &OptionsError{Field: "RoundTimeout", Value: roundTimeout.Seconds(), Reason: "receive deadline must not be negative; use 0 to disable it"}
+	}
+	return nil
+}
+
+// ValidateClusterOptions checks a ClusterOptions value against every
+// constraint the entry points enforce (K ≥ 1, F and Gamma in [0,1],
+// non-negative MaxRounds / Workers / RoundTimeout), returning a typed
+// *OptionsError naming the offending field. Engine.Cluster and
+// Engine.Sweep apply exactly this validation; callers that assemble
+// options from external input (flags, HTTP requests) can reject bad
+// values up front with the same error surface.
+func ValidateClusterOptions(opts ClusterOptions) error {
+	if err := validateKFGamma(opts.K, opts.F, opts.Gamma); err != nil {
+		return err
+	}
+	return validateRunOptions(opts.MaxRounds, opts.Workers, opts.RoundTimeout)
+}
+
 // Event is one progress notification of a running job: phase changes,
 // round boundaries with the peer's local objective and traffic so far, and
 // termination. See ClusterOptions.Events.
@@ -213,7 +246,7 @@ func serializedObserver(fn func(Event)) core.Observer {
 // (and to the deprecated Cluster free function): the caches only memoize
 // pure functions of the corpus.
 func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, error) {
-	if err := validateKFGamma(opts.K, opts.F, opts.Gamma); err != nil {
+	if err := ValidateClusterOptions(opts); err != nil {
 		return nil, err
 	}
 	peers := opts.Peers
@@ -289,6 +322,11 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, err
 // ErrCanceled — the graceful-shutdown path for daemon deployments.
 func (e *Engine) ClusterDistributed(ctx context.Context, opts DistributedOptions) (*DistributedResult, error) {
 	if err := validateKFGamma(opts.K, opts.F, opts.Gamma); err != nil {
+		return nil, err
+	}
+	// DistributedOptions documents negative RoundTimeout/StartupTimeout as
+	// "no deadline", so only the unambiguous fields are range-checked here.
+	if err := validateRunOptions(opts.MaxRounds, opts.Workers, 0); err != nil {
 		return nil, err
 	}
 	m := len(opts.PeerAddrs)
@@ -430,7 +468,7 @@ func (s *SweepSpec) cells() []ClusterOptions {
 func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) ([]SweepCell, error) {
 	cells := spec.cells()
 	for i, opts := range cells {
-		if err := validateKFGamma(opts.K, opts.F, opts.Gamma); err != nil {
+		if err := ValidateClusterOptions(opts); err != nil {
 			return nil, fmt.Errorf("xmlclust: sweep cell %d: %w", i, err)
 		}
 	}

@@ -133,6 +133,78 @@ func TestEngineValidation(t *testing.T) {
 	}
 }
 
+// TestRunOptionsValidation pins the execution-shaping option checks:
+// negative MaxRounds, Workers and RoundTimeout used to be accepted silently
+// (falling back to defaults or arming expired deadlines); every entry point
+// must now reject them with a typed *OptionsError naming the field.
+func TestRunOptionsValidation(t *testing.T) {
+	corpus := sampleCorpus(t)
+	eng, err := NewEngine(corpus, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(t *testing.T, err error, field string) {
+		t.Helper()
+		var oe *OptionsError
+		if !errors.As(err, &oe) {
+			t.Fatalf("want *OptionsError for %s, got %v", field, err)
+		}
+		if oe.Field != field {
+			t.Errorf("flagged field %s, want %s", oe.Field, field)
+		}
+	}
+	cases := []struct {
+		field string
+		opts  ClusterOptions
+	}{
+		{"MaxRounds", ClusterOptions{K: 2, F: 0.5, Gamma: 0.5, MaxRounds: -1}},
+		{"Workers", ClusterOptions{K: 2, F: 0.5, Gamma: 0.5, Workers: -2}},
+		{"RoundTimeout", ClusterOptions{K: 2, F: 0.5, Gamma: 0.5, RoundTimeout: -time.Second}},
+	}
+	for _, c := range cases {
+		t.Run(c.field, func(t *testing.T) {
+			check(t, ValidateClusterOptions(c.opts), c.field)
+			_, err := eng.Cluster(context.Background(), c.opts)
+			check(t, err, c.field)
+			_, err = Cluster(corpus, c.opts)
+			check(t, err, c.field)
+			_, err = eng.Sweep(context.Background(), SweepSpec{Base: c.opts})
+			check(t, err, c.field)
+			if c.field != "RoundTimeout" {
+				// DistributedOptions keeps negative-timeout = "no deadline".
+				_, err = eng.ClusterDistributed(context.Background(), DistributedOptions{
+					K: 2, F: 0.5, Gamma: 0.5, PeerAddrs: []string{"127.0.0.1:0"},
+					MaxRounds: c.opts.MaxRounds, Workers: c.opts.Workers,
+				})
+				check(t, err, c.field)
+			}
+		})
+	}
+	t.Run("ClassifyWorkers", func(t *testing.T) {
+		_, err := eng.ClassifyTransactions(context.Background(), nil, nil,
+			ClassifyOptions{F: 0.5, Gamma: 0.5, Workers: -1})
+		check(t, err, "Workers")
+	})
+	t.Run("ClassifyGamma", func(t *testing.T) {
+		_, err := eng.ClassifyTransactions(context.Background(), nil, nil,
+			ClassifyOptions{F: 0.5, Gamma: 1.5})
+		check(t, err, "Gamma")
+	})
+
+	// Zero stays the documented default everywhere, and DistributedOptions'
+	// negative timeouts remain legal "no deadline" markers (validated
+	// before any listener is bound, so a bad peer table still errors).
+	if err := ValidateClusterOptions(ClusterOptions{K: 2, F: 0.5, Gamma: 0.5}); err != nil {
+		t.Errorf("zero run options rejected: %v", err)
+	}
+	_, err = eng.ClusterDistributed(context.Background(), DistributedOptions{
+		K: 2, F: 0.5, Gamma: 0.5, RoundTimeout: -1, StartupTimeout: -1,
+	})
+	if err == nil || errors.As(err, new(*OptionsError)) {
+		t.Errorf("negative distributed timeouts must stay legal (failed on the empty peer table only): %v", err)
+	}
+}
+
 // waitForGoroutines polls until the goroutine count drops back to the
 // baseline (plus slack for runtime helpers) or the deadline expires.
 func waitForGoroutines(t *testing.T, baseline int) {

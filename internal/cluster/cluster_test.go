@@ -549,3 +549,48 @@ func TestRepresentativeWorkersEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestRelocateOneMatchesRelocate pins the single-transaction kernel (the
+// serving layer's classify path) to the batch relocation it was factored out
+// of: same winner, and a winning similarity consistent with a direct
+// TransactionsAtLeast evaluation.
+func TestRelocateOneMatchesRelocate(t *testing.T) {
+	corpus := twoTopicDocs(t, 3)
+	cx := ctxFor(corpus, 0.5, 0.6)
+	reps := []*txn.Transaction{
+		ComputeLocalRepresentative(RepConfig{Ctx: cx}, corpus.Transactions[:3]),
+		ComputeLocalRepresentative(RepConfig{Ctx: cx}, corpus.Transactions[3:]),
+	}
+	batch := Relocate(cx, corpus.Transactions, reps)
+	sc := sim.NewScratch()
+	for i, tr := range corpus.Transactions {
+		gotJ, gotSim := RelocateOne(cx, tr, reps, sc)
+		if gotJ != batch[i] {
+			t.Errorf("transaction %d: RelocateOne chose %d, Relocate chose %d", i, gotJ, batch[i])
+		}
+		if gotJ == TrashCluster {
+			if gotSim != 0 {
+				t.Errorf("transaction %d: trash with sim %g", i, gotSim)
+			}
+			continue
+		}
+		// The reported similarity must be the exact pairwise value of the
+		// winner (threshold −1 disables pruning for the reference value).
+		want := cx.TransactionsAtLeast(tr, reps[gotJ], -1, sc)
+		if gotSim != want {
+			t.Errorf("transaction %d: RelocateOne sim %g, direct %g", i, gotSim, want)
+		}
+		// nil scratch must allocate and agree.
+		j2, s2 := RelocateOne(cx, tr, reps, nil)
+		if j2 != gotJ || s2 != gotSim {
+			t.Errorf("transaction %d: nil-scratch RelocateOne (%d,%g) != (%d,%g)", i, j2, s2, gotJ, gotSim)
+		}
+	}
+	// Nil and empty representative sets are trash.
+	if j, s := RelocateOne(cx, corpus.Transactions[0], nil, sc); j != TrashCluster || s != 0 {
+		t.Errorf("empty reps: got (%d,%g)", j, s)
+	}
+	if j, _ := RelocateOne(cx, corpus.Transactions[0], []*txn.Transaction{nil, nil}, sc); j != TrashCluster {
+		t.Errorf("all-nil reps: got cluster %d", j)
+	}
+}

@@ -147,23 +147,38 @@ func RelocateCtx(ctx context.Context, cx *sim.Context, s []*txn.Transaction, rep
 			sc = sim.NewScratch()
 			scratches[w] = sc
 		}
-		tr := s[i]
-		best, bestJ := 0.0, TrashCluster
-		for j, rep := range reps {
-			if rep == nil || rep.Len() == 0 {
-				continue
-			}
-			v := cx.TransactionsAtLeast(tr, rep, best, sc)
-			if v > best {
-				best, bestJ = v, j
-			}
-		}
-		assign[i] = bestJ
+		assign[i], _ = RelocateOne(cx, s[i], reps, sc)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return assign, nil
+}
+
+// RelocateOne relocates a single transaction against a fixed representative
+// set: it returns the argmax cluster (ties to the lowest index, nil and
+// empty representatives never win, TrashCluster when every similarity is
+// zero) together with the winning similarity. This is the per-transaction
+// scan RelocateCtx runs — exposed as the single-document entry point of the
+// incremental serving layer, so online assignments match what a batch
+// relocation would produce for the same representatives by construction.
+// The scan threads its running best through the branch-and-bound kernel;
+// sc may be nil (a scratch is then allocated per call).
+func RelocateOne(cx *sim.Context, tr *txn.Transaction, reps []*txn.Transaction, sc *sim.Scratch) (int, float64) {
+	if sc == nil {
+		sc = sim.NewScratch()
+	}
+	best, bestJ := 0.0, TrashCluster
+	for j, rep := range reps {
+		if rep == nil || rep.Len() == 0 {
+			continue
+		}
+		v := cx.TransactionsAtLeast(tr, rep, best, sc)
+		if v > best {
+			best, bestJ = v, j
+		}
+	}
+	return bestJ, best
 }
 
 // XKMeans runs the centralized transactional clustering: select k initial

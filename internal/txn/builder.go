@@ -47,13 +47,40 @@ func NewBuilder(opts BuildOptions) *Builder {
 	}
 }
 
+// ReopenBuilder resumes incremental building on a corpus that an earlier
+// builder already finished: the returned builder appends new documents to
+// c, numbering them from nextDoc (normally the document count of the
+// finished corpus, so ids never collide — the builder cannot infer it from
+// c because documents may legitimately contribute zero transactions).
+// Interning tables are shared, so items and paths of the new documents
+// dedupe against the existing collection and the combined corpus stays
+// consistent. The caller owns weighting consistency: items first seen
+// through a reopened builder carry zero vectors until a weighting pass
+// (weighting.Accumulator.WeighNew or a full re-Finalize) assigns them.
+// This is the online-ingestion entry point of the serving layer.
+func ReopenBuilder(c *Corpus, nextDoc int, opts BuildOptions) *Builder {
+	if c == nil {
+		panic("txn: ReopenBuilder on nil corpus")
+	}
+	if nextDoc < 0 {
+		panic("txn: ReopenBuilder with negative next document id")
+	}
+	return &Builder{opts: opts, c: c, docs: nextDoc}
+}
+
 // Corpus exposes the corpus under construction. The interning tables are
 // valid from the start (observers need them); Transactions grows with Add.
 func (b *Builder) Corpus() *Corpus { return b.c }
 
 // Observe registers a sink notified after each document's transactions are
-// appended. Sinks run on the Add goroutine, in document order.
-func (b *Builder) Observe(s DocSink) { b.sinks = append(b.sinks, s) }
+// appended. Sinks run on the Add goroutine, in document order. Registering
+// a sink on a finished builder panics: it could never fire.
+func (b *Builder) Observe(s DocSink) {
+	if b.done {
+		panic("txn: Builder.Observe after Finish")
+	}
+	b.sinks = append(b.sinks, s)
+}
 
 // Docs returns the number of documents added so far.
 func (b *Builder) Docs() int { return b.docs }
@@ -103,6 +130,11 @@ func (b *Builder) AddExtracted(t *xmltree.Tree, res tuple.Result, label int) {
 
 // Finish seals the builder and returns the corpus. Vectors are zero until a
 // weighting finalize pass runs (weighting.Accumulator or weighting.Apply).
+// Any Add/AddLabeled/AddExtracted after Finish panics: a silent append
+// would mutate a corpus whose itf weights are already finalized, leaving
+// the new items with stale (zero) weights. Callers that genuinely need to
+// grow a finished corpus reopen it explicitly with ReopenBuilder and run
+// their own weighting pass.
 func (b *Builder) Finish() *Corpus {
 	b.done = true
 	return b.c

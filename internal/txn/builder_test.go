@@ -145,13 +145,86 @@ func TestBuilderTruncationAndDepth(t *testing.T) {
 	}
 }
 
-func TestBuilderAddAfterFinishPanics(t *testing.T) {
-	b := NewBuilder(BuildOptions{})
-	b.Finish()
+// TestBuilderUseAfterFinishPanics pins the use-after-Finish guard on every
+// mutating entry point: a silent post-Finish append would grow a corpus
+// whose itf weights are already finalized, leaving the new items with
+// stale zero weights — exactly the corruption an online serving layer
+// would otherwise hit.
+func TestBuilderUseAfterFinishPanics(t *testing.T) {
+	tree := builderTestTrees(t, 1)[0]
+	cases := []struct {
+		name string
+		use  func(b *Builder)
+	}{
+		{"Add", func(b *Builder) { b.Add(tree) }},
+		{"AddLabeled", func(b *Builder) { b.AddLabeled(tree, 3) }},
+		{"AddExtracted", func(b *Builder) {
+			b.AddExtracted(tree, tuple.Extract(tree, tuple.Options{}), -1)
+		}},
+		{"Observe", func(b *Builder) { b.Observe(&recordingSink{}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(BuildOptions{})
+			b.Finish()
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s after Finish should panic", tc.name)
+				}
+			}()
+			tc.use(b)
+		})
+	}
+}
+
+// TestReopenBuilder pins the deliberate escape hatch: reopening a finished
+// corpus appends documents with non-colliding ids against the shared
+// interning tables, and the reopened builder re-arms the Finish guard.
+func TestReopenBuilder(t *testing.T) {
+	trees := builderTestTrees(t, 3)
+	opts := BuildOptions{Tuple: tuple.Options{MaxTuplesPerTree: 8}}
+	b := NewBuilder(opts)
+	b.Add(trees[0])
+	b.Add(trees[1])
+	c := b.Finish()
+	itemsBefore, txnsBefore := c.Items.Len(), len(c.Transactions)
+
+	rb := ReopenBuilder(c, b.Docs(), opts)
+	if rb.Corpus() != c {
+		t.Fatal("reopened builder must build onto the same corpus")
+	}
+	sink := &recordingSink{}
+	rb.Observe(sink)
+	rb.AddLabeled(trees[2], 5)
+	if got := rb.Finish(); got != c {
+		t.Fatal("Finish of a reopened builder must return the same corpus")
+	}
+
+	if len(c.Transactions) <= txnsBefore {
+		t.Fatal("reopened builder appended no transactions")
+	}
+	for _, tr := range c.Transactions[txnsBefore:] {
+		if tr.Doc != 2 {
+			t.Fatalf("appended transaction carries doc id %d, want 2", tr.Doc)
+		}
+		if tr.Label != 5 {
+			t.Fatalf("appended transaction carries label %d, want 5", tr.Label)
+		}
+	}
+	if len(sink.docs) != 1 || sink.docs[0] != 2 {
+		t.Fatalf("sink saw docs %v, want [2]", sink.docs)
+	}
+	// Shared interning: trees repeat answers, so the appended document must
+	// dedupe against existing items rather than re-intern everything.
+	if grown := c.Items.Len() - itemsBefore; grown >= itemsBefore {
+		t.Fatalf("item table grew by %d from %d — interning not shared?", grown, itemsBefore)
+	}
+
+	// The reopened builder's own Finish re-arms the guard.
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Add after Finish should panic")
+			t.Fatal("Add after reopened Finish should panic")
 		}
 	}()
-	b.Add(builderTestTrees(t, 1)[0])
+	rb.Add(trees[0])
 }

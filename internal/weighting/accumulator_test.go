@@ -2,6 +2,7 @@ package weighting_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"xmlclust/internal/txn"
@@ -102,6 +103,96 @@ func TestAccumulatorEmptyDocs(t *testing.T) {
 	for i := 0; i < batch.Items.Len(); i++ {
 		if !vector.Equal(batch.Items.Get(txn.ItemID(i)).Vector, stream.Items.Get(txn.ItemID(i)).Vector) {
 			t.Fatalf("item %d vector differs", i)
+		}
+	}
+}
+
+// TestWeighNewFrozenITF covers the online weighting pass of the serving
+// layer: items interned after Finalize get vectors under the frozen
+// collection counters, already-weighted items keep theirs byte for byte,
+// and synthetic (conflated) items are never re-derived.
+func TestWeighNewFrozenITF(t *testing.T) {
+	b := txn.NewBuilder(txn.BuildOptions{})
+	acc := weighting.NewAccumulator(b.Corpus())
+	b.Observe(acc)
+	for _, tree := range accTestTrees(t, 3) {
+		b.Add(tree)
+	}
+	c := b.Finish()
+	acc.Finalize()
+
+	if n := acc.WeighNew(); n != 0 {
+		t.Fatalf("WeighNew right after Finalize weighted %d items, want 0", n)
+	}
+	itemsBefore := c.Items.Len()
+	before := make([]vector.Sparse, itemsBefore)
+	for i := range before {
+		before[i] = c.Items.Get(txn.ItemID(i)).Vector
+	}
+
+	// A synthetic item must keep its conflated vector across WeighNew.
+	synVec := vector.FromMap(map[int32]float64{0: 0.125})
+	synID := c.Items.InternSynthetic(c.Items.Get(0).Path, "syn merged answer key", synVec, []txn.ItemID{0, 1})
+
+	// Stream one more document with fresh vocabulary through a reopened
+	// builder; its items exist but are unweighted until WeighNew runs.
+	tree, err := xmltree.ParseString(
+		`<paper key="k9"><title>quantum entanglement puzzles</title><author>unseen scribe</author><venue>icpp</venue></paper>`,
+		xmltree.DefaultParseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := txn.ReopenBuilder(c, 3, txn.BuildOptions{})
+	b2.Observe(acc)
+	b2.AddLabeled(tree, -1)
+
+	newID := txn.ItemID(-1)
+	for i := int(synID) + 1; i < c.Items.Len(); i++ {
+		it := c.Items.Get(txn.ItemID(i))
+		if !it.Vector.IsZero() {
+			t.Fatalf("item %d (%q) weighted before WeighNew", i, it.Answer)
+		}
+		if it.Answer == "quantum entanglement puzzles" {
+			newID = txn.ItemID(i)
+		}
+	}
+	if newID < 0 {
+		t.Fatal("new document's title item not interned")
+	}
+
+	n := acc.WeighNew()
+	if n == 0 {
+		t.Fatal("WeighNew weighted nothing after a new document")
+	}
+	if c.Items.Get(newID).Vector.IsZero() {
+		t.Fatal("new item still has a zero vector after WeighNew")
+	}
+	if !vector.Equal(c.Items.Get(synID).Vector, synVec) {
+		t.Fatal("WeighNew re-derived a synthetic item's conflated vector")
+	}
+	for i := range before {
+		if !vector.Equal(c.Items.Get(txn.ItemID(i)).Vector, before[i]) {
+			t.Fatalf("WeighNew changed already-weighted item %d", i)
+		}
+	}
+	if n2 := acc.WeighNew(); n2 != 0 {
+		t.Fatalf("second WeighNew re-weighted %d items", n2)
+	}
+
+	// Transient classify-time items (interned directly, observed by no
+	// document) weight with a neutral context and a clamped n_{j,T} ≥ 1,
+	// so unseen terms keep a finite idf.
+	transient := c.Items.Intern(c.Items.Get(0).Path, "totally novel wording")
+	if acc.WeighNew() == 0 {
+		t.Fatal("WeighNew skipped a directly interned item")
+	}
+	tv := c.Items.Get(transient).Vector
+	if tv.IsZero() {
+		t.Fatal("transient item got a zero vector")
+	}
+	for _, e := range tv.Entries() {
+		if math.IsInf(e.Weight, 0) || math.IsNaN(e.Weight) {
+			t.Fatalf("transient item weight is not finite: %v", tv)
 		}
 	}
 }

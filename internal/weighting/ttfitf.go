@@ -70,6 +70,9 @@ type Accumulator struct {
 	// ctx[t] = Σ over occurrences of exp(n_{j,τ}/N_τ)·(n_{j,XT}/N_XT).
 	accCtx []map[int32]float64
 	accN   []int
+	// weighted marks items whose vector a Finalize or WeighNew pass has
+	// already assigned; WeighNew only touches unmarked items.
+	weighted []bool
 }
 
 // NewAccumulator creates an accumulator bound to the corpus under
@@ -97,6 +100,7 @@ func (a *Accumulator) syncItems() {
 		a.itemTerms = append(a.itemTerms, terms)
 		a.accCtx = append(a.accCtx, nil)
 		a.accN = append(a.accN, 0)
+		a.weighted = append(a.weighted, false)
 	}
 }
 
@@ -164,27 +168,78 @@ func (a *Accumulator) Finalize() Stats {
 	a.syncItems()
 	stats := Stats{TotalTCUs: a.nT}
 	for id := range a.itemTF {
+		if a.c.Items.Get(txn.ItemID(id)).Synthetic {
+			// Synthetic representative items carry vectors conflated at
+			// intern time; re-deriving them from the merged answer key
+			// would clobber the exact conflation.
+			a.weighted[id] = true
+			continue
+		}
+		a.weighted[id] = true
 		tf := a.itemTF[id]
 		if len(tf) == 0 {
 			stats.EmptyItems++
 			continue
 		}
-		weights := make(map[int32]float64, len(tf))
-		for t, f := range tf {
-			idf := math.Log(float64(a.nT) / float64(a.njT[t]))
-			avgCtx := 1.0
-			if a.accN[id] > 0 {
-				avgCtx = a.accCtx[id][t] / float64(a.accN[id])
-			}
-			w := float64(f) * avgCtx * idf
-			if w > 0 {
-				weights[t] = w
-			}
-		}
-		a.c.Items.SetVector(txn.ItemID(id), vector.FromMap(weights))
+		a.c.Items.SetVector(txn.ItemID(id), a.weigh(id, tf, a.njT))
 	}
 	stats.Vocabulary = a.c.Terms.Len()
 	return stats
+}
+
+// weigh computes one item's ttf.itf vector from its term-frequency map and
+// a collection-level document-frequency view.
+func (a *Accumulator) weigh(id int, tf map[int32]int, njT map[int32]int) vector.Sparse {
+	weights := make(map[int32]float64, len(tf))
+	for t, f := range tf {
+		nj := njT[t]
+		if nj < 1 {
+			// Term unseen by any observed document (transient classify-time
+			// items): treat it as occurring once so the idf stays finite.
+			nj = 1
+		}
+		idf := math.Log(float64(a.nT) / float64(nj))
+		avgCtx := 1.0
+		if a.accN[id] > 0 {
+			avgCtx = a.accCtx[id][t] / float64(a.accN[id])
+		}
+		w := float64(f) * avgCtx * idf
+		if w > 0 {
+			weights[t] = w
+		}
+	}
+	return vector.FromMap(weights)
+}
+
+// WeighNew assigns TCU vectors to the items interned since the last
+// Finalize/WeighNew pass, using the CURRENT collection counters as a
+// frozen-itf approximation — the online path of the serving layer, where a
+// new document must be weighted and assigned immediately while the exact
+// collection-wide re-weighting is deferred to the next representative
+// refresh. Already-weighted items keep their vectors (their itf factors
+// are not retroactively updated; only a fresh Finalize over a rebuilt
+// corpus is exact), synthetic representative items are never touched, and
+// items observed by no document weight with a neutral context factor.
+// Returns the number of items weighted.
+func (a *Accumulator) WeighNew() int {
+	a.syncItems()
+	n := 0
+	for id := range a.itemTF {
+		if a.weighted[id] {
+			continue
+		}
+		a.weighted[id] = true
+		n++
+		if a.c.Items.Get(txn.ItemID(id)).Synthetic {
+			continue
+		}
+		tf := a.itemTF[id]
+		if len(tf) == 0 || a.nT == 0 {
+			continue // zero vector: no text, or nothing observed yet
+		}
+		a.c.Items.SetVector(txn.ItemID(id), a.weigh(id, tf, a.njT))
+	}
+	return n
 }
 
 // Apply computes the ttf.itf TCU vector of every item in the corpus in one

@@ -268,9 +268,10 @@ type ClusterOptions struct {
 	Peers int
 	// Workers bounds the goroutines each peer uses for its local
 	// similarity-heavy loops (relocation, item ranking, representative
-	// refinement). 0 or negative means one worker per CPU; 1 forces the
-	// serial path. For a fixed Seed the clustering output is byte-identical
-	// for every Workers value — only the wall time changes.
+	// refinement). 0 means one worker per CPU; 1 forces the serial path;
+	// negative values are rejected with an *OptionsError. For a fixed Seed
+	// the clustering output is byte-identical for every legal Workers
+	// value — only the wall time changes.
 	Workers int
 	// UnequalSplit distributes data in the paper's skewed scenario (half
 	// the peers hold twice the data).
@@ -282,11 +283,14 @@ type ClusterOptions struct {
 	// UseTCP runs the peers over loopback TCP instead of in-process
 	// channels.
 	UseTCP bool
-	// MaxRounds bounds the collaborative loop (0 = default).
+	// MaxRounds bounds the collaborative loop (0 = default; negative values
+	// are rejected with an *OptionsError).
 	MaxRounds int
 	// RoundTimeout bounds every blocking receive of each peer's session;
 	// a peer that waits longer fails the run instead of hanging on a dead
-	// neighbour. 0 disables the deadline (the in-process default).
+	// neighbour. 0 disables the deadline (the in-process default); negative
+	// values are rejected with an *OptionsError. (DistributedOptions keeps
+	// its distinct negative-means-no-deadline convention.)
 	RoundTimeout time.Duration
 	// Events, when non-nil, receives typed progress events while the job
 	// runs: per-peer RoundStart/RoundEnd (with the peer's local objective),
@@ -380,7 +384,8 @@ type DistributedOptions struct {
 	UnequalSplit bool
 	// Seed makes the run reproducible (and must match across processes).
 	Seed int64
-	// MaxRounds bounds the collaborative loop (0 = default).
+	// MaxRounds bounds the collaborative loop (0 = default; negative values
+	// are rejected with an *OptionsError).
 	MaxRounds int
 	// RoundTimeout bounds every blocking receive (0 = DefaultRoundTimeout,
 	// negative = no deadline).
@@ -431,32 +436,56 @@ func ClusterDistributed(corpus *Corpus, opts DistributedOptions) (*DistributedRe
 
 // DocumentClusters aggregates a per-transaction assignment to per-document
 // clusters by majority vote (ties to the lower cluster id; documents whose
-// transactions all landed in the trash map to TrashCluster).
+// transactions all landed in the trash map to TrashCluster). Every document
+// of the corpus appears in the result: transactions beyond a short assign
+// slice cast no votes, so a document wholly outside the slice follows the
+// all-trash rule and maps to TrashCluster instead of being dropped.
 func DocumentClusters(corpus *Corpus, assign []int) map[int]int {
 	votes := map[int]map[int]int{}
 	for i, tr := range corpus.Transactions {
-		if i >= len(assign) {
-			break
-		}
 		if votes[tr.Doc] == nil {
 			votes[tr.Doc] = map[int]int{}
+		}
+		if i >= len(assign) {
+			continue
 		}
 		votes[tr.Doc][assign[i]]++
 	}
 	out := make(map[int]int, len(votes))
 	for doc, v := range votes {
-		best, bestN := TrashCluster, -1
-		for cl, n := range v {
-			if cl == TrashCluster {
-				continue
-			}
-			if n > bestN || (n == bestN && cl < best) {
-				best, bestN = cl, n
-			}
-		}
-		out[doc] = best
+		out[doc] = majorityFromVotes(v)
 	}
 	return out
+}
+
+// MajorityCluster reduces the per-transaction assignment of ONE document to
+// a document-level cluster by majority vote: ties resolve to the lower
+// cluster id, trash votes never outvote a real cluster, and an empty or
+// all-trash assignment yields TrashCluster. It is the same vote
+// DocumentClusters applies per document, exposed for online classification
+// where a single document's transactions are assigned at a time.
+func MajorityCluster(assign []int) int {
+	votes := make(map[int]int, 4)
+	for _, cl := range assign {
+		votes[cl]++
+	}
+	return majorityFromVotes(votes)
+}
+
+// majorityFromVotes picks the non-trash cluster with the most votes, ties
+// to the lower id; TrashCluster when no real cluster got any vote. The scan
+// is order-independent, so map iteration order cannot leak into results.
+func majorityFromVotes(votes map[int]int) int {
+	best, bestN := TrashCluster, -1
+	for cl, n := range votes {
+		if cl == TrashCluster {
+			continue
+		}
+		if n > bestN || (n == bestN && cl < best) {
+			best, bestN = cl, n
+		}
+	}
+	return best
 }
 
 // Scores bundles the cluster validity measures of Sect. 5.3.

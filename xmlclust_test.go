@@ -265,8 +265,9 @@ func TestDocumentClustersTrashNeverOutvotes(t *testing.T) {
 
 // TestDocumentClustersShortAssign pins the behaviour for assignment slices
 // shorter than the transaction list: trailing transactions cast no votes,
-// and documents whose transactions all fall past the end are absent from
-// the result instead of panicking.
+// and a document whose transactions ALL fall past the end follows the
+// documented all-trash rule — it maps to TrashCluster instead of being
+// silently dropped from the result (the historical bug).
 func TestDocumentClustersShortAssign(t *testing.T) {
 	corpus := multiTupleCorpus(t)
 	// Cover only the transactions of the first document.
@@ -289,13 +290,45 @@ func TestDocumentClustersShortAssign(t *testing.T) {
 	if cl, ok := dc[firstDoc]; !ok || cl != 1 {
 		t.Errorf("covered doc %d → %d (present %v), want cluster 1", firstDoc, cl, ok)
 	}
-	if len(dc) != 1 {
-		t.Errorf("uncovered documents should cast no votes; got %v", dc)
+	secondDoc := corpus.Transactions[n].Doc
+	if cl, ok := dc[secondDoc]; !ok || cl != TrashCluster {
+		t.Errorf("uncovered doc %d → %d (present %v), want TrashCluster: every document must appear", secondDoc, cl, ok)
+	}
+	if len(dc) != 2 {
+		t.Errorf("result must cover every document of the corpus; got %v", dc)
 	}
 
-	// Empty assignment: no votes at all, empty result, no panic.
-	if dc := DocumentClusters(corpus, nil); len(dc) != 0 {
-		t.Errorf("nil assignment produced votes: %v", dc)
+	// Empty assignment: no votes at all, every document maps to the trash.
+	dc = DocumentClusters(corpus, nil)
+	if len(dc) != 2 {
+		t.Errorf("nil assignment must still map every document: %v", dc)
+	}
+	for doc, cl := range dc {
+		if cl != TrashCluster {
+			t.Errorf("nil assignment: doc %d → %d, want TrashCluster", doc, cl)
+		}
+	}
+}
+
+// TestMajorityCluster pins the exported per-document vote: the same rule
+// DocumentClusters applies, usable on a single document's assignment.
+func TestMajorityCluster(t *testing.T) {
+	cases := []struct {
+		name   string
+		assign []int
+		want   int
+	}{
+		{"empty", nil, TrashCluster},
+		{"all trash", []int{TrashCluster, TrashCluster}, TrashCluster},
+		{"majority", []int{2, 1, 2}, 2},
+		{"tie to lower id", []int{5, 2, 2, 5}, 2},
+		{"trash never outvotes", []int{TrashCluster, TrashCluster, 3}, 3},
+		{"single vote", []int{0}, 0},
+	}
+	for _, tc := range cases {
+		if got := MajorityCluster(tc.assign); got != tc.want {
+			t.Errorf("%s: MajorityCluster(%v) = %d, want %d", tc.name, tc.assign, got, tc.want)
+		}
 	}
 }
 
