@@ -5,12 +5,19 @@
 //
 //	cxkbench -exp fig7                # Fig. 7 on all four corpora
 //	cxkbench -exp fig8 -dataset DBLP  # one Fig. 8 panel
-//	cxkbench -exp table1|table2|gamma|rules|cache|sweep|all
+//	cxkbench -exp table1|table2|gamma|rules|cache|sweep|kernel|all
 //	cxkbench -scale paper             # paper-geometry profile (slow)
+//	cxkbench -exp kernel -json BENCH_kernel.json -min-speedup 1.3
 //
 // The sweep experiment exercises the public Engine API: one Engine fans an
 // f×γ grid over its shared similarity caches (Engine.Sweep), printing the
 // per-cell scores and the cache warmth the grid accumulated.
+//
+// The kernel experiment benchmarks the columnar similarity kernel against
+// the frozen seed implementation on one corpus, optionally writing the
+// numbers (ns/op, allocs/op, speedup-vs-seed, clustering F-measure) as a
+// machine-readable JSON artifact and gating on a minimum speedup — the CI
+// bench-regression smoke and the input of the bench trajectory.
 package main
 
 import (
@@ -28,10 +35,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | sweep | all")
-		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma/workers/sweep)")
+		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | sweep | kernel | all")
+		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma/workers/sweep/kernel)")
 		scaleFl = flag.String("scale", "quick", "profile: quick | paper")
 		workers = flag.Int("workers", 1, "intra-peer worker goroutines, also used as ingest workers for corpus preparation (0 = one per CPU); results are identical for any value")
+		jsonFl  = flag.String("json", "", "write the kernel experiment's results as JSON to this path (e.g. BENCH_kernel.json)")
+		minSpd  = flag.Float64("min-speedup", 0, "kernel experiment: exit non-zero if speedup-vs-seed falls below this bar (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -143,6 +152,14 @@ func main() {
 			d = canonical(*ds)
 		}
 		check(runSweep(d, scale, *workers))
+		fmt.Println()
+	}
+	if want("kernel") {
+		d := "DBLP"
+		if *ds != "" {
+			d = canonical(*ds)
+		}
+		check(runKernel(d, scale, *workers, *jsonFl, *minSpd))
 		fmt.Println()
 	}
 }

@@ -53,76 +53,10 @@ func BenchmarkRelocateWorkers2(b *testing.B) { benchmarkRelocate(b, 2) }
 func BenchmarkRelocateWorkers4(b *testing.B) { benchmarkRelocate(b, 4) }
 func BenchmarkRelocateWorkers8(b *testing.B) { benchmarkRelocate(b, 8) }
 
-// seedTransactions reproduces the seed (pre-kernel) Eq. 4 evaluation —
-// two item slices, an n1×n2 matrix and a match-set map allocated per
-// transaction pair — as the baseline the kernel's throughput is judged
-// against (the speedup-vs-seed metric below). A second verbatim copy
-// lives as referenceMatchSet in internal/sim/kernel_test.go (the property
-// -test oracle); both are frozen snapshots of the seed code and must only
-// change together.
-func seedTransactions(cx *sim.Context, tr1, tr2 *txn.Transaction) float64 {
-	u := txn.UnionSize(tr1, tr2)
-	if u == 0 {
-		return 0
-	}
-	n1, n2 := tr1.Len(), tr2.Len()
-	shared := make(map[txn.ItemID]struct{}, n1+n2)
-	if n1 == 0 || n2 == 0 {
-		return 0
-	}
-	items1 := make([]*txn.Item, n1)
-	for i, id := range tr1.Items {
-		items1[i] = cx.Items.Get(id)
-	}
-	items2 := make([]*txn.Item, n2)
-	for j, id := range tr2.Items {
-		items2[j] = cx.Items.Get(id)
-	}
-	simM := make([]float64, n1*n2)
-	for i, a := range items1 {
-		row := simM[i*n2 : (i+1)*n2]
-		for j, bb := range items2 {
-			row[j] = cx.Item(a, bb)
-		}
-	}
-	gamma := cx.Params.Gamma
-	for j := 0; j < n2; j++ {
-		best := -1.0
-		for i := 0; i < n1; i++ {
-			if s := simM[i*n2+j]; s > best {
-				best = s
-			}
-		}
-		if best < gamma {
-			continue
-		}
-		for i := 0; i < n1; i++ {
-			if simM[i*n2+j] == best {
-				shared[tr1.Items[i]] = struct{}{}
-			}
-		}
-	}
-	for i := 0; i < n1; i++ {
-		best := -1.0
-		for j := 0; j < n2; j++ {
-			if s := simM[i*n2+j]; s > best {
-				best = s
-			}
-		}
-		if best < gamma {
-			continue
-		}
-		for j := 0; j < n2; j++ {
-			if simM[i*n2+j] == best {
-				shared[tr2.Items[j]] = struct{}{}
-			}
-		}
-	}
-	return float64(len(shared)) / float64(u)
-}
-
-// seedRelocate is the seed relocation loop over seedTransactions: every
-// pair evaluated to completion, no scratch reuse, no pruning.
+// seedRelocate is the seed relocation loop over sim.SeedTransactions (the
+// frozen pre-kernel Eq. 4 snapshot in internal/sim/seed.go, shared with
+// the kernel property tests and cxkbench's kernel experiment): every pair
+// evaluated to completion, no scratch reuse, no pruning.
 func seedRelocate(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction) []int {
 	assign := make([]int, len(s))
 	for i, tr := range s {
@@ -131,7 +65,7 @@ func seedRelocate(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction
 			if rep == nil || rep.Len() == 0 {
 				continue
 			}
-			v := seedTransactions(cx, tr, rep)
+			v := sim.SeedTransactions(cx, tr, rep)
 			if v > best {
 				best, bestJ = v, j
 			}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"xmlclust/internal/txn"
+	"xmlclust/internal/vector"
 	"xmlclust/internal/xmltree"
 )
 
@@ -21,7 +22,16 @@ import (
 //   - MatchSet: the materialized id set, for the few callers (representative
 //     conflation, tests) that genuinely need set membership.
 //
-// Tie rule (shared by all three): an item e ∈ tr_i belongs to
+// The inner loop is columnar: a transaction pair is resolved once into flat
+// per-position arrays — item ids straight from the sorted Items slices, tag
+// paths from the corpus's columnar arena (txn.Columnar) when the
+// transaction carries a span, TCU vector headers bulk-copied from the item
+// table's vector column — and the n1×n2 pass then reads only contiguous
+// slices. No *txn.Item is dereferenced anywhere on the hot path; the
+// pointer-based layout survives only in the SeedTransactions oracle this
+// kernel is benchmarked and equivalence-tested against.
+//
+// Tie rule (shared by all three readings): an item e ∈ tr_i belongs to
 // matchγ(tr_i→tr_j) iff some e_h ∈ tr_j has sim(e, e_h) ≥ γ and no other
 // item of tr_i matches that e_h strictly better — ties all qualify, i.e.
 // every item whose similarity equals the per-row/per-column maximum is
@@ -33,28 +43,35 @@ import (
 // slices.
 
 // Scratch is the reusable working state of the match kernel: the resolved
-// item-pointer slices, the n1×n2 similarity matrix, the per-column maxima
-// and the two direction-mark bitsets. All buffers are grown in place and
-// reused across calls, so a warm Scratch makes Transactions allocation-free
-// (the CI allocation guard pins this at exactly 0 allocs/op).
+// per-position vector and tag-path columns, the n1×n2 similarity matrix,
+// the per-column maxima and the two direction-mark bitsets. All buffers are
+// grown in place and reused across calls, so a warm Scratch makes
+// Transactions allocation-free (the CI allocation guard pins this at
+// exactly 0 allocs/op on both the columnar and the fallback resolution
+// paths).
 //
 // A Scratch is NOT safe for concurrent use; give each goroutine its own
 // (see parallel.ForCtxWorkers) or pass nil to borrow one from the shared
 // pool.
 type Scratch struct {
-	items1, items2 []*txn.Item
-	simM           []float64 // row-major n1×n2 item similarities
-	colBest        []float64 // per-column maximum over the rows seen so far
-	mark1          []uint64  // bitset over tr1 positions (direction tr1→tr2)
-	mark2          []uint64  // bitset over tr2 positions (direction tr2→tr1)
+	vecs1, vecs2 []vector.Sparse // resolved TCU vector headers per position
+	simM         []float64       // row-major n1×n2 item similarities
+	colBest      []float64       // per-column maximum over the rows seen so far
+	mark1        []uint64        // bitset over tr1 positions (direction tr1→tr2)
+	mark2        []uint64        // bitset over tr2 positions (direction tr2→tr1)
 
-	// Structural memo: each side's distinct tag paths (tp1[:nd1],
-	// tp2[:nd2]) with per-position slot indices, plus the d1×d2 structural
-	// similarity matrix filled lazily one d1-row at a time (structDone
-	// tracks filled rows). Tree-tuple items share tag paths heavily (every
-	// author of an article, say), so one Eq. 3 probe per distinct tag-path
-	// pair replaces one per item pair — same float64 values, an order of
-	// magnitude fewer sharded-cache probes on same-schema corpora.
+	// tpRaw1/tpRaw2 hold the per-position tag paths of a side when the
+	// transaction has no columnar span and they must be resolved from the
+	// item table (span transactions read the arena block directly, zero
+	// copies). tp1/tp2 and tpIdx1/tpIdx2 are the deduplicated view either
+	// way: each side's distinct tag paths (tp1[:nd1], tp2[:nd2]) with
+	// per-position slot indices, plus the d1×d2 structural similarity
+	// matrix filled lazily one d1-row at a time (structDone tracks filled
+	// rows). Tree-tuple items share tag paths heavily (every author of an
+	// article, say), so one Eq. 3 probe per distinct tag-path pair replaces
+	// one per item pair — same float64 values, an order of magnitude fewer
+	// sharded-cache probes on same-schema corpora.
+	tpRaw1, tpRaw2 []xmltree.PathID
 	tp1, tp2       []xmltree.PathID
 	tpIdx1, tpIdx2 []int32
 	nd1, nd2       int
@@ -76,14 +93,19 @@ type Scratch struct {
 	structVal []float64
 	lastCx    *Context
 
-	// lastTab/lastTr1/lastTr2 memoize the item-pointer resolution of the
-	// previous call: transactions are immutable after construction and the
-	// interning table is append-only, so when the same side recurs — tr1 is
-	// fixed across a Relocate argmax scan, the candidate representative is
-	// fixed across a refinement-objective pass — the resolved pointers are
-	// reused without touching the table lock. Holding the *Transaction
-	// reference also keeps the memo key from being reused by the allocator.
+	// lastTab/lastVecVer/lastTr1/lastTr2 memoize the column resolution of
+	// the previous call: transactions are immutable after construction and
+	// the interning table is append-only, so when the same side recurs —
+	// tr1 is fixed across a Relocate argmax scan, the candidate
+	// representative is fixed across a refinement-objective pass — the
+	// resolved columns are reused without touching the table lock. The
+	// vector headers are value copies, so unlike the old pointer memo they
+	// would NOT see an in-place SetVector; lastVecVer pins the table's
+	// vector version at resolution time and any weighting pass since then
+	// forces a re-resolve. Holding the *Transaction references also keeps
+	// the memo keys from being reused by the allocator.
 	lastTab          *txn.ItemTable
+	lastVecVer       uint64
 	lastTr1, lastTr2 *txn.Transaction
 }
 
@@ -123,17 +145,17 @@ func hasBit(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 // (no buffer grew).
 func (sc *Scratch) ensure(n1, n2 int) bool {
 	reused := true
-	if cap(sc.items1) < n1 {
-		sc.items1 = make([]*txn.Item, n1)
+	if cap(sc.vecs1) < n1 {
+		sc.vecs1 = make([]vector.Sparse, n1)
 		reused = false
 	} else {
-		sc.items1 = sc.items1[:n1]
+		sc.vecs1 = sc.vecs1[:n1]
 	}
-	if cap(sc.items2) < n2 {
-		sc.items2 = make([]*txn.Item, n2)
+	if cap(sc.vecs2) < n2 {
+		sc.vecs2 = make([]vector.Sparse, n2)
 		reused = false
 	} else {
-		sc.items2 = sc.items2[:n2]
+		sc.vecs2 = sc.vecs2[:n2]
 	}
 	if cap(sc.simM) < n1*n2 {
 		sc.simM = make([]float64, n1*n2)
@@ -158,6 +180,18 @@ func (sc *Scratch) ensure(n1, n2 int) bool {
 		reused = false
 	} else {
 		sc.mark2 = sc.mark2[:w]
+	}
+	if cap(sc.tpRaw1) < n1 {
+		sc.tpRaw1 = make([]xmltree.PathID, n1)
+		reused = false
+	} else {
+		sc.tpRaw1 = sc.tpRaw1[:n1]
+	}
+	if cap(sc.tpRaw2) < n2 {
+		sc.tpRaw2 = make([]xmltree.PathID, n2)
+		reused = false
+	} else {
+		sc.tpRaw2 = sc.tpRaw2[:n2]
 	}
 	if cap(sc.tp1) < n1 {
 		sc.tp1 = make([]xmltree.PathID, n1)
@@ -229,14 +263,14 @@ func (sc *Scratch) structSim(cx *Context, pa, pb xmltree.PathID) float64 {
 	return v
 }
 
-// indexTagPaths fills tps[:] with the distinct tag paths of items and idx
+// indexTagPaths fills tps[:] with the distinct tag paths of src and idx
 // with each position's slot, returning the distinct count. Linear-scan
 // dedup: the distinct count is small (tree tuples repeat tag paths) and
-// the scan allocates nothing.
-func indexTagPaths(items []*txn.Item, tps []xmltree.PathID, idx []int32) int {
+// the scan allocates nothing. src is either a columnar arena block or the
+// scratch's table-resolved tpRaw buffer — a flat int32 scan either way.
+func indexTagPaths(src, tps []xmltree.PathID, idx []int32) int {
 	nd := 0
-	for j, b := range items {
-		tp := b.TagPath
+	for j, tp := range src {
 		slot := -1
 		for d := 0; d < nd; d++ {
 			if tps[d] == tp {
@@ -252,6 +286,23 @@ func indexTagPaths(items []*txn.Item, tps []xmltree.PathID, idx []int32) int {
 		idx[j] = int32(slot)
 	}
 	return nd
+}
+
+// resolveSide fills one side's scratch columns — per-position TCU vector
+// headers plus the deduplicated tag-path index — and returns the distinct
+// tag-path count. Span transactions read their tag-path block straight out
+// of the corpus's columnar arena (no table lock, no copy) and bulk-copy
+// the vector headers from the table's vector column; spanless transactions
+// (synthetic representatives, hand-assembled corpora, classify-time
+// transients) resolve both columns from the table under one lock.
+func (cx *Context) resolveSide(tr *txn.Transaction, vecs []vector.Sparse, tpRaw, tps []xmltree.PathID, idx []int32) int {
+	if cols, start := tr.ColumnarSpan(); cols != nil {
+		cx.Items.ResolveVectors(tr.Items, vecs)
+		cx.Counters.ColumnarResolves.Add(1)
+		return indexTagPaths(cols.TagPathSpan(start, len(tr.Items)), tps, idx)
+	}
+	cx.Items.ResolveColumns(tr.Items, tpRaw, vecs)
+	return indexTagPaths(tpRaw, tps, idx)
 }
 
 // matchKernel computes the γ-matching marks of (tr1, tr2) into sc and
@@ -283,9 +334,14 @@ func (cx *Context) matchKernel(tr1, tr2 *txn.Transaction, sc *Scratch, threshold
 		return 0, true
 	}
 	f := cx.Params.F
-	sameTab := sc.lastTab == cx.Items
-	keep1 := sameTab && sc.lastTr1 == tr1
-	keep2 := sameTab && sc.lastTr2 == tr2
+	// The resolution memo is current only if the table is the same one AND
+	// no SetVector ran since the columns were copied (the headers are value
+	// copies; a weighting pass rewrites vectors in place and must not be
+	// served stale — see lastVecVer).
+	vecVer := cx.Items.VecVersion()
+	sameCols := sc.lastTab == cx.Items && sc.lastVecVer == vecVer
+	keep1 := sameCols && sc.lastTr1 == tr1
+	keep2 := sameCols && sc.lastTr2 == tr2
 	reused := sc.ensure(n1, n2)
 	useStructMemo := f > 0 && cx.UseCache
 	if useStructMemo && sc.structKey == nil {
@@ -296,16 +352,13 @@ func (cx *Context) matchKernel(tr1, tr2 *txn.Transaction, sc *Scratch, threshold
 	if reused {
 		cx.Counters.ScratchReuses.Add(1)
 	}
-	items1, items2 := sc.items1, sc.items2
 	if !keep1 {
-		cx.Items.Resolve(tr1.Items, items1)
-		sc.nd1 = indexTagPaths(items1, sc.tp1, sc.tpIdx1)
+		sc.nd1 = cx.resolveSide(tr1, sc.vecs1, sc.tpRaw1, sc.tp1, sc.tpIdx1)
 	}
 	if !keep2 {
-		cx.Items.Resolve(tr2.Items, items2)
-		sc.nd2 = indexTagPaths(items2, sc.tp2, sc.tpIdx2)
+		sc.nd2 = cx.resolveSide(tr2, sc.vecs2, sc.tpRaw2, sc.tp2, sc.tpIdx2)
 	}
-	sc.lastTab, sc.lastTr1, sc.lastTr2 = cx.Items, tr1, tr2
+	sc.lastTab, sc.lastVecVer, sc.lastTr1, sc.lastTr2 = cx.Items, vecVer, tr1, tr2
 	colBest := sc.colBest
 	for j := range colBest {
 		colBest[j] = -1
@@ -333,25 +386,27 @@ func (cx *Context) matchKernel(tr1, tr2 *txn.Transaction, sc *Scratch, threshold
 		}
 		sc.lastCx = cx
 	}
+	ids1, ids2 := tr1.Items, tr2.Items
+	vecs2 := sc.vecs2
 	qualRows := 0
 	for i := 0; i < n1; i++ {
 		if prune && float64(qualRows+(n1-i)+n2)/float64(u) <= threshold {
 			cx.Counters.PrunedRows.Add(int64(n1 - i))
 			return 0, false
 		}
-		a := items1[i]
 		var structRow []float64
 		if f > 0 {
 			// One Eq. 3 probe per distinct (tr1, tr2) tag-path pair: the d1
 			// structural row is filled on the first item row that needs it
 			// and reused by every later row sharing the tag path.
-			// structRow[d] is exactly Structural(a, b) for every b whose
-			// tag path sits in slot d.
+			// structRow[d] is exactly the Eq. 3 term of every position pair
+			// whose tag paths sit in slots (d1, d).
 			d1 := int(sc.tpIdx1[i])
 			structRow = sc.structM[d1*sc.nd2 : d1*sc.nd2+sc.nd2]
 			if !hasBit(sc.structDone, d1) {
+				tpa := sc.tp1[d1]
 				for d := 0; d < sc.nd2; d++ {
-					structRow[d] = sc.structSim(cx, a.TagPath, sc.tp2[d])
+					structRow[d] = sc.structSim(cx, tpa, sc.tp2[d])
 				}
 				setBit(sc.structDone, d1)
 			}
@@ -360,16 +415,61 @@ func (cx *Context) matchKernel(tr1, tr2 *txn.Transaction, sc *Scratch, threshold
 		}
 		row := sc.simM[i*n2 : (i+1)*n2]
 		rowBest := -1.0
-		for j, b := range items2 {
-			s := cx.itemBlend(a, b, structRow[sc.tpIdx2[j]])
-			row[j] = s
-			if s > rowBest {
-				rowBest = s
+		va := sc.vecs1[i]
+		if cx.ItemCache == nil {
+			// The tight loop: contiguous reads only — the tag-path slot
+			// column, the resolved vector headers and the similarity row.
+			// The arithmetic replicates Item (Eq. 1) operation for
+			// operation, so values are bit-identical to direct Item calls.
+			for j := range row {
+				s := 0.0
+				if f > 0 {
+					s += f * structRow[sc.tpIdx2[j]]
+				}
+				if f < 1 {
+					s += (1 - f) * vector.Cosine(va, vecs2[j])
+				}
+				row[j] = s
+				if s > rowBest {
+					rowBest = s
+				}
+				if s > colBest[j] {
+					colBest[j] = s
+				}
 			}
-			if s > colBest[j] {
-				colBest[j] = s
+		} else {
+			// Memoized variant: same arithmetic behind the item-pair cache,
+			// keys packed from the flat id slices.
+			ida := ids1[i]
+			for j := range row {
+				var s float64
+				key := packItemPair(ida, ids2[j])
+				if v, ok := cx.ItemCache.lookup(key); ok {
+					cx.Counters.ItemCacheHits.Add(1)
+					s = v
+				} else {
+					s = 0.0
+					if f > 0 {
+						s += f * structRow[sc.tpIdx2[j]]
+					}
+					if f < 1 {
+						s += (1 - f) * vector.Cosine(va, vecs2[j])
+					}
+					cx.ItemCache.store(key, s)
+				}
+				row[j] = s
+				if s > rowBest {
+					rowBest = s
+				}
+				if s > colBest[j] {
+					colBest[j] = s
+				}
 			}
 		}
+		// One batched counter add per processed row instead of one atomic
+		// per pair: totals are identical (pruned rows never counted their
+		// pairs before either), contention is n2× lower.
+		cx.Counters.ItemSims.Add(int64(n2))
 		// Direction tr2 → tr1: the best matchers of tr1's item i within tr2.
 		// rowBest is final once the row is filled, so the marks are set here,
 		// ties all qualifying.
@@ -410,49 +510,19 @@ func (cx *Context) matchKernel(tr1, tr2 *txn.Transaction, sc *Scratch, threshold
 	i, j := 0, 0
 	for i < n1 && j < n2 {
 		switch {
-		case tr1.Items[i] == tr2.Items[j]:
+		case ids1[i] == ids2[j]:
 			if hasBit(mark1, i) && hasBit(mark2, j) {
 				count--
 			}
 			i++
 			j++
-		case tr1.Items[i] < tr2.Items[j]:
+		case ids1[i] < ids2[j]:
 			i++
 		default:
 			j++
 		}
 	}
 	return count, true
-}
-
-// itemBlend is Item with the structural term precomputed by the kernel's
-// row memo: structSim must equal Structural(a, b) whenever f > 0 (it is
-// ignored at f == 0). The arithmetic replicates Item operation for
-// operation, so the kernel's similarity values are bit-identical to direct
-// Item calls; counters and the optional item-pair memo behave identically
-// too.
-func (cx *Context) itemBlend(a, b *txn.Item, structSim float64) float64 {
-	cx.Counters.ItemSims.Add(1)
-	var key itemPair
-	if cx.ItemCache != nil {
-		key = packItemPair(a.ID, b.ID)
-		if s, ok := cx.ItemCache.lookup(key); ok {
-			cx.Counters.ItemCacheHits.Add(1)
-			return s
-		}
-	}
-	f := cx.Params.F
-	s := 0.0
-	if f > 0 {
-		s += f * structSim
-	}
-	if f < 1 {
-		s += (1 - f) * cx.Content(a, b)
-	}
-	if cx.ItemCache != nil {
-		cx.ItemCache.store(key, s)
-	}
-	return s
 }
 
 // MatchCount returns |matchγ(tr1, tr2)| — exactly len(MatchSet(tr1, tr2)) —

@@ -9,80 +9,10 @@ import (
 	"xmlclust/internal/xmltree"
 )
 
-// referenceMatchSet is the seed (pre-kernel) MatchSet implementation, kept
-// verbatim as the oracle for the property tests: two item slices, an n1×n2
-// matrix and a result map allocated per call, and per-element index
-// arithmetic in the directional scans. The kernel must reproduce its
-// output exactly — including the "ties all qualify" rule — while
-// allocating nothing. A second verbatim copy lives as seedTransactions in
-// internal/cluster/bench_test.go (the speedup-vs-seed baseline); both are
-// frozen snapshots of the seed code and must only change together.
-func referenceMatchSet(cx *Context, tr1, tr2 *txn.Transaction) map[txn.ItemID]struct{} {
-	n1, n2 := tr1.Len(), tr2.Len()
-	shared := make(map[txn.ItemID]struct{}, n1+n2)
-	if n1 == 0 || n2 == 0 {
-		return shared
-	}
-	items1 := make([]*txn.Item, n1)
-	for i, id := range tr1.Items {
-		items1[i] = cx.Items.Get(id)
-	}
-	items2 := make([]*txn.Item, n2)
-	for j, id := range tr2.Items {
-		items2[j] = cx.Items.Get(id)
-	}
-	simM := make([]float64, n1*n2)
-	for i, a := range items1 {
-		row := simM[i*n2 : (i+1)*n2]
-		for j, b := range items2 {
-			row[j] = cx.Item(a, b)
-		}
-	}
-	gamma := cx.Params.Gamma
-	for j := 0; j < n2; j++ {
-		best := -1.0
-		for i := 0; i < n1; i++ {
-			if s := simM[i*n2+j]; s > best {
-				best = s
-			}
-		}
-		if best < gamma {
-			continue
-		}
-		for i := 0; i < n1; i++ {
-			if simM[i*n2+j] == best {
-				shared[tr1.Items[i]] = struct{}{}
-			}
-		}
-	}
-	for i := 0; i < n1; i++ {
-		best := -1.0
-		for j := 0; j < n2; j++ {
-			if s := simM[i*n2+j]; s > best {
-				best = s
-			}
-		}
-		if best < gamma {
-			continue
-		}
-		for j := 0; j < n2; j++ {
-			if simM[i*n2+j] == best {
-				shared[tr2.Items[j]] = struct{}{}
-			}
-		}
-	}
-	return shared
-}
-
-// referenceTransactions is the seed Eq. 4 evaluation on top of
-// referenceMatchSet.
-func referenceTransactions(cx *Context, tr1, tr2 *txn.Transaction) float64 {
-	u := txn.UnionSize(tr1, tr2)
-	if u == 0 {
-		return 0
-	}
-	return float64(len(referenceMatchSet(cx, tr1, tr2))) / float64(u)
-}
+// The seed (pre-kernel) oracle the property tests pin the kernel against
+// lives in seed.go as SeedMatchSet/SeedTransactions — one frozen snapshot
+// shared with the speedup-vs-seed baselines of
+// internal/cluster/bench_test.go and cxkbench's kernel experiment.
 
 // randomKernelCorpus builds a synthetic corpus straight from the interning
 // tables: nItems items over a deliberately small path and vector vocabulary
@@ -151,7 +81,7 @@ func TestMatchCountEqualsMatchSet(t *testing.T) {
 			sc := NewScratch()
 			for _, tr1 := range corpus.Transactions {
 				for _, tr2 := range corpus.Transactions {
-					ref := referenceMatchSet(cx, tr1, tr2)
+					ref := SeedMatchSet(cx, tr1, tr2)
 					if got := cx.MatchCount(tr1, tr2, sc); got != len(ref) {
 						t.Fatalf("seed %d params %+v: MatchCount = %d, reference set has %d",
 							seed, p, got, len(ref))
@@ -165,7 +95,7 @@ func TestMatchCountEqualsMatchSet(t *testing.T) {
 							t.Fatalf("seed %d params %+v: item %d missing from MatchSet", seed, p, id)
 						}
 					}
-					want := referenceTransactions(cx, tr1, tr2)
+					want := SeedTransactions(cx, tr1, tr2)
 					if got := cx.Transactions(tr1, tr2, sc); got != want {
 						t.Fatalf("seed %d params %+v: Transactions = %v, reference %v", seed, p, got, want)
 					}
@@ -273,11 +203,16 @@ func TestTransactionsZeroAllocWarmScratch(t *testing.T) {
 
 // kernelBenchFixture prepares a mid-sized random corpus and a warmed
 // context so the benchmarks measure the kernel, not first-touch cache
-// fills.
-func kernelBenchFixture(b *testing.B) (*Context, []*txn.Transaction) {
+// fills. columnar selects the layout: spans attached (the production
+// builder/Load shape, contiguous-scan resolution) or the bare pointer
+// table (the fallback for hand-assembled transaction sets).
+func kernelBenchFixture(b *testing.B, columnar bool) (*Context, []*txn.Transaction) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(5))
 	corpus := randomKernelCorpus(rng, 120, 32)
+	if columnar {
+		corpus.RebuildColumnar()
+	}
 	cx := NewContext(corpus, Params{F: 0.5, Gamma: 0.7})
 	sc := NewScratch()
 	for _, tr1 := range corpus.Transactions {
@@ -291,7 +226,7 @@ func kernelBenchFixture(b *testing.B) (*Context, []*txn.Transaction) {
 // BenchmarkMatchKernelCold evaluates every pair with a fresh Scratch per
 // evaluation — the price of first-touch buffer growth.
 func BenchmarkMatchKernelCold(b *testing.B) {
-	cx, trs := kernelBenchFixture(b)
+	cx, trs := kernelBenchFixture(b, true)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -301,10 +236,27 @@ func BenchmarkMatchKernelCold(b *testing.B) {
 	}
 }
 
-// BenchmarkMatchKernelWarm is the steady state: one Scratch reused across
-// evaluations, 0 allocs/op.
+// BenchmarkMatchKernelWarm is the steady state on the production layout:
+// one Scratch reused across evaluations, transactions carrying columnar
+// spans, 0 allocs/op.
 func BenchmarkMatchKernelWarm(b *testing.B) {
-	cx, trs := kernelBenchFixture(b)
+	cx, trs := kernelBenchFixture(b, true)
+	sc := NewScratch()
+	cx.Transactions(trs[0], trs[1], sc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr1 := trs[i%len(trs)]
+		tr2 := trs[(i+7)%len(trs)]
+		cx.Transactions(tr1, tr2, sc)
+	}
+}
+
+// BenchmarkMatchKernelWarmFallback is the same steady state through the
+// pointer-table fallback (no spans) — the cost of losing the contiguous
+// tag-path scan, visible next to the columnar number.
+func BenchmarkMatchKernelWarmFallback(b *testing.B) {
+	cx, trs := kernelBenchFixture(b, false)
 	sc := NewScratch()
 	cx.Transactions(trs[0], trs[1], sc)
 	b.ReportAllocs()
@@ -320,12 +272,12 @@ func BenchmarkMatchKernelWarm(b *testing.B) {
 // stream — the baseline the kernel's allocs/op and ns/op are judged
 // against.
 func BenchmarkMatchKernelSeed(b *testing.B) {
-	cx, trs := kernelBenchFixture(b)
+	cx, trs := kernelBenchFixture(b, true)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr1 := trs[i%len(trs)]
 		tr2 := trs[(i+7)%len(trs)]
-		referenceTransactions(cx, tr1, tr2)
+		SeedTransactions(cx, tr1, tr2)
 	}
 }

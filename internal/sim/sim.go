@@ -9,7 +9,7 @@
 //     enhanced-intersection match sets matchγ.
 //
 // A Context carries the parameters (f, γ) and the collection tables. The
-// implementation is organized as three performance tiers, from coldest to
+// implementation is organized as four performance tiers, from coldest to
 // hottest:
 //
 //  1. PathCache — the sharded store of Eq. 3 tag-path pair similarities,
@@ -20,15 +20,23 @@
 //     (content cosine + structural lookup + f-mix), enabled by Engine
 //     contexts; γ-matching re-asks the same pairs every relocation pass.
 //  3. The match kernel (kernel.go) — the allocation-free Eq. 4 inner loop.
-//     A per-goroutine Scratch holds the item-pointer slices, similarity
+//     A per-goroutine Scratch holds the resolved columns, similarity
 //     matrix and match bitsets, grown in place and reused; MatchCount
 //     produces |matchγ| without materializing a set, and
 //     TransactionsAtLeast adds exact branch-and-bound row pruning for
 //     argmax callers. MatchSet remains as a thin materializing wrapper.
+//  4. The columnar layout (txn.Columnar) — builder-built corpora carry a
+//     struct-of-arrays arena of item ids and tag-path ids with each
+//     transaction as a [start,end) span, so the kernel's n1×n2 pass scans
+//     contiguous int32/float64 slices and never dereferences a *txn.Item;
+//     transactions without a span (synthetic representatives, literal test
+//     corpora) take a table-resolved fallback with identical output.
 //
 // None of the tiers ever changes a result: the caches store pure functions
-// of their keys, and the kernel's count and pruning decisions are exact
-// (equivalence- and allocation-guarded in kernel_test.go and CI).
+// of their keys, the kernel's count and pruning decisions are exact, and
+// the columnar columns are derived copies of the item table (equivalence-
+// and allocation-guarded in kernel_test.go and CI, with SeedTransactions
+// in seed.go as the frozen pointer-based oracle).
 package sim
 
 import (
@@ -66,6 +74,11 @@ type Counters struct {
 	// ScratchReuses counts kernel invocations that ran on a fully warm
 	// Scratch (no buffer had to grow) — the zero-allocation steady state.
 	ScratchReuses atomic.Int64
+	// ColumnarResolves counts kernel side resolutions that read tag paths
+	// straight from a corpus's columnar arena span instead of resolving
+	// per-position through the item table — the observable proof that the
+	// contiguous-scan fast path is actually taken (tests assert it).
+	ColumnarResolves atomic.Int64
 }
 
 // Context evaluates similarities for one corpus under fixed Params.

@@ -43,6 +43,7 @@ func NewBuilder(opts BuildOptions) *Builder {
 			Paths: paths,
 			Items: NewItemTable(paths),
 			Terms: NewTermTable(),
+			cols:  &Columnar{},
 		},
 	}
 }
@@ -64,6 +65,12 @@ func ReopenBuilder(c *Corpus, nextDoc int, opts BuildOptions) *Builder {
 	}
 	if nextDoc < 0 {
 		panic("txn: ReopenBuilder with negative next document id")
+	}
+	if c.cols == nil {
+		// Hand-assembled or legacy-loaded corpora resume without a columnar
+		// view; build one covering the existing transactions so the reopened
+		// corpus gets (and keeps extending) the contiguous-scan path.
+		c.RebuildColumnar()
 	}
 	return &Builder{opts: opts, c: c, docs: nextDoc}
 }
@@ -121,7 +128,13 @@ func (b *Builder) AddExtracted(t *xmltree.Tree, res tuple.Result, label int) {
 			pid := b.c.Paths.Intern(lf.Path)
 			ids = append(ids, b.c.Items.Intern(pid, lf.Node.Value))
 		}
-		b.c.Transactions = append(b.c.Transactions, NewTransaction(ids, docID, tt.Index, label))
+		tr := NewTransaction(ids, docID, tt.Index, label)
+		// The columnar arena grows with every published transaction — here,
+		// not in Finish — so the online serving path (a reopened builder that
+		// appends documents forever without a second Finish) keeps the
+		// contiguous-scan layout current too.
+		b.c.cols.appendSpan(b.c.Items, tr)
+		b.c.Transactions = append(b.c.Transactions, tr)
 	}
 	for _, s := range b.sinks {
 		s.ObserveDoc(docID, b.c.Transactions[start:])

@@ -1,0 +1,175 @@
+package txn
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"xmlclust/internal/xmltree"
+)
+
+// Columnar is the struct-of-arrays view of a corpus's transaction set: one
+// arena of contiguous parallel blocks — item ids, tag-path ids and content
+// weights — with each transaction owning a [start, start+len) span into
+// them. The similarity kernel scans the blocks sequentially instead of
+// dereferencing a *Item per element, which removes the pointer-chase from
+// the n1×n2 inner loop of Eq. 4; persistence reuses the same blocks as the
+// format-2 gob encoding, so saving a corpus is a near-memcpy of the arena.
+//
+// The view is derived state: item ids are exactly the transactions' sorted
+// id sets, tag-path ids replicate Item.TagPath per position, and weights
+// hold the L2 norm of each position's TCU vector (refreshed after a
+// weighting pass; diagnostics and round-trip checks read them, the kernel
+// deliberately does not — it resolves vectors from the authoritative
+// ItemTable so a mid-stream re-weighting can never split the two).
+//
+// Concurrency: the builder appends under the arena lock while kernels read
+// published spans lock-free-after-snapshot — a span's elements are
+// immutable once its transaction is published, so the short RLock in
+// TagPathSpan only protects the slice headers against a concurrent append's
+// reallocation, and the returned subslice stays valid even if the backing
+// array is later outgrown.
+type Columnar struct {
+	mu         sync.RWMutex
+	itemIDs    []ItemID
+	tagPathIDs []xmltree.PathID
+	weights    []float64
+	// offsets[i] is the arena start of span i; offsets has one trailing
+	// entry holding the arena length, so span i is [offsets[i], offsets[i+1]).
+	// Spans are appended in corpus-transaction order, so for builder-built
+	// and Load-restored corpora span i belongs to Corpus.Transactions[i].
+	offsets []int32
+	// refreshed is the position watermark of the last weight refresh:
+	// positions below it carry current norms, positions at or above were
+	// appended since and may still hold pre-weighting zeros.
+	refreshed int
+	// tagPathsPub is the atomically published tagPathIDs slice header, so
+	// the kernel's per-pair TagPathSpan read costs one atomic load instead
+	// of an RWMutex round trip. Safe because a published header's visible
+	// prefix is immutable: appends only write past the previous length (or
+	// into a fresh backing array), and the new header is stored after those
+	// writes, so readers of any loaded header never observe a torn span.
+	tagPathsPub atomic.Pointer[[]xmltree.PathID]
+}
+
+// Len returns the number of arena positions (Σ transaction lengths).
+func (co *Columnar) Len() int {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	return len(co.itemIDs)
+}
+
+// NumSpans returns the number of transaction spans in the arena.
+func (co *Columnar) NumSpans() int {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	if len(co.offsets) == 0 {
+		// Offsets are lazily initialized by the first append; an arena that
+		// never saw one has zero spans, not -1.
+		return 0
+	}
+	return len(co.offsets) - 1
+}
+
+// Span returns the three column blocks of span i. The slices alias the
+// arena and must be treated as read-only; weights reflect the last refresh.
+func (co *Columnar) Span(i int) (ids []ItemID, tagPaths []xmltree.PathID, weights []float64) {
+	co.mu.RLock()
+	defer co.mu.RUnlock()
+	lo, hi := co.offsets[i], co.offsets[i+1]
+	return co.itemIDs[lo:hi:hi], co.tagPathIDs[lo:hi:hi], co.weights[lo:hi:hi]
+}
+
+// TagPathSpan returns the tag-path block of the span starting at start with
+// n positions — the kernel's per-transaction structural input, on the
+// hottest read path of the whole system (twice per transaction pair). It
+// reads the atomically published header instead of taking the arena lock;
+// the subslice aliases the arena, and span contents are immutable once
+// published, so it stays valid indefinitely.
+func (co *Columnar) TagPathSpan(start int32, n int) []xmltree.PathID {
+	tps := *co.tagPathsPub.Load()
+	return tps[start : int(start)+n : int(start)+n]
+}
+
+// appendSpan appends tr's columns to the arena and records the span on the
+// transaction. Called with every transaction the builder publishes, in
+// order; tab supplies the tag-path and vector columns of the ids.
+func (co *Columnar) appendSpan(tab *ItemTable, tr *Transaction) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if len(co.offsets) == 0 {
+		co.offsets = append(co.offsets, 0)
+	}
+	start := len(co.itemIDs)
+	if start+len(tr.Items) > math.MaxInt32 {
+		panic("txn: columnar arena exceeds int32 positions")
+	}
+	co.itemIDs = append(co.itemIDs, tr.Items...)
+	tab.mu.RLock()
+	for _, id := range tr.Items {
+		co.tagPathIDs = append(co.tagPathIDs, tab.tagPaths[id])
+		co.weights = append(co.weights, tab.vecs[id].Norm())
+	}
+	tab.mu.RUnlock()
+	co.offsets = append(co.offsets, int32(len(co.itemIDs)))
+	h := co.tagPathIDs
+	co.tagPathsPub.Store(&h)
+	tr.cols, tr.colStart = co, int32(start)
+}
+
+// refreshWeights recomputes the weight column from the current item
+// vectors: the whole arena when full, else only the positions appended
+// since the previous refresh (older spans cannot reference items a WeighNew
+// pass touched — ids are interned before the spans that use them, and
+// WeighNew never rewrites an already-weighted item).
+func (co *Columnar) refreshWeights(tab *ItemTable, full bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	start := co.refreshed
+	if full {
+		start = 0
+	}
+	tab.mu.RLock()
+	for i := start; i < len(co.itemIDs); i++ {
+		co.weights[i] = tab.vecs[co.itemIDs[i]].Norm()
+	}
+	tab.mu.RUnlock()
+	co.refreshed = len(co.itemIDs)
+}
+
+// Columnar returns the corpus's columnar view, or nil when the corpus was
+// assembled by hand (struct literals in tests, gob-decoded transaction
+// sets) — similarity falls back to per-transaction table resolution then.
+func (c *Corpus) Columnar() *Columnar { return c.cols }
+
+// RebuildColumnar (re)derives the columnar view covering every current
+// transaction, in order. Load calls it to give restored corpora the
+// contiguous-scan path; ReopenBuilder calls it when resuming a corpus that
+// never had a view (then keeps extending it incrementally).
+func (c *Corpus) RebuildColumnar() {
+	co := &Columnar{}
+	for _, tr := range c.Transactions {
+		co.appendSpan(c.Items, tr)
+	}
+	co.refreshed = len(co.itemIDs)
+	c.cols = co
+}
+
+// RefreshColumnarWeights brings the full weight column up to date with the
+// item vectors — the hook a batch weighting Finalize runs after rewriting
+// every raw item's vector.
+func (c *Corpus) RefreshColumnarWeights() {
+	if c.cols != nil {
+		c.cols.refreshWeights(c.Items, true)
+	}
+}
+
+// RefreshNewColumnarWeights updates only the positions appended since the
+// last refresh — the online hook for WeighNew, which weights freshly
+// interned items without touching already-weighted ones, so older spans
+// keep current norms by construction.
+func (c *Corpus) RefreshNewColumnarWeights() {
+	if c.cols != nil {
+		c.cols.refreshWeights(c.Items, false)
+	}
+}

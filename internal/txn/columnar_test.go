@@ -1,0 +1,198 @@
+package txn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xmlclust/internal/vector"
+	"xmlclust/internal/xmltree"
+)
+
+// randomXMLDoc produces a small random document over a deliberately tiny
+// tag and answer vocabulary, so repeated values intern to the same item
+// across documents and exact similarity ties are common — the tie-heavy
+// regime the columnar view must reproduce faithfully.
+func randomXMLDoc(rng *rand.Rand) string {
+	tags := []string{"title", "author", "year"}
+	answers := []string{"alpha", "beta", "gamma", "delta"}
+	doc := "<dblp>"
+	for e := 0; e < 1+rng.Intn(3); e++ {
+		doc += "<inproceedings>"
+		for l := 0; l < 1+rng.Intn(4); l++ {
+			tag := tags[rng.Intn(len(tags))]
+			doc += fmt.Sprintf("<%s>%s</%s>", tag, answers[rng.Intn(len(answers))], tag)
+		}
+		doc += "</inproceedings>"
+	}
+	return doc + "</dblp>"
+}
+
+func addRandomDocs(t *testing.T, b *Builder, rng *rand.Rand, n int) {
+	t.Helper()
+	for d := 0; d < n; d++ {
+		tree, err := xmltree.ParseString(randomXMLDoc(rng), xmltree.DefaultParseOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Add(tree)
+	}
+}
+
+// assertColumnarMirrors checks the SoA invariants position by position: the
+// arena covers exactly the corpus's transactions in order, each span's item
+// ids equal the pointer-based Transaction.Items, the tag-path column
+// replicates Item.TagPath per position, the weight column holds each
+// position's current vector norm, and offsets are monotone with sane
+// bounds.
+func assertColumnarMirrors(t *testing.T, c *Corpus) {
+	t.Helper()
+	co := c.Columnar()
+	if co == nil {
+		t.Fatal("corpus has no columnar view")
+	}
+	if co.NumSpans() != len(c.Transactions) {
+		t.Fatalf("NumSpans = %d, want %d transactions", co.NumSpans(), len(c.Transactions))
+	}
+	total := 0
+	for _, tr := range c.Transactions {
+		total += tr.Len()
+	}
+	if co.Len() != total {
+		t.Fatalf("arena Len = %d, want Σ|tr| = %d", co.Len(), total)
+	}
+	pos := int32(0)
+	for i, tr := range c.Transactions {
+		ids, tagPaths, weights := co.Span(i)
+		if len(ids) != tr.Len() || len(tagPaths) != tr.Len() || len(weights) != tr.Len() {
+			t.Fatalf("span %d: column lengths %d/%d/%d, want %d",
+				i, len(ids), len(tagPaths), len(weights), tr.Len())
+		}
+		cols, start := tr.ColumnarSpan()
+		if cols != co || start != pos {
+			t.Fatalf("span %d: transaction records (cols=%p,start=%d), want (%p,%d)",
+				i, cols, start, co, pos)
+		}
+		pos += int32(tr.Len())
+		for j, id := range tr.Items {
+			if ids[j] != id {
+				t.Fatalf("span %d pos %d: arena id %d, transaction id %d", i, j, ids[j], id)
+			}
+			it := c.Items.Get(id)
+			if tagPaths[j] != it.TagPath {
+				t.Fatalf("span %d pos %d: arena tag path %d, item table %d", i, j, tagPaths[j], it.TagPath)
+			}
+			if weights[j] != it.Vector.Norm() {
+				t.Fatalf("span %d pos %d: arena weight %v, vector norm %v", i, j, weights[j], it.Vector.Norm())
+			}
+		}
+	}
+}
+
+// TestColumnarMirrorsBuilderCorpus: randomized builder-built corpora
+// round-trip exactly between the SoA arena and the pointer-based
+// transactions, across several corpus shapes.
+func TestColumnarMirrorsBuilderCorpus(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(BuildOptions{})
+		addRandomDocs(t, b, rng, 3+rng.Intn(6))
+		c := b.Finish()
+		assertColumnarMirrors(t, c)
+	}
+}
+
+// TestColumnarReopenAppends: a reopened builder keeps extending the same
+// arena — the online serving path — and the invariants hold over the
+// combined old+new transaction set after every appended document.
+func TestColumnarReopenAppends(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := NewBuilder(BuildOptions{})
+	addRandomDocs(t, b, rng, 4)
+	c := b.Finish()
+	coBefore := c.Columnar()
+
+	rb := ReopenBuilder(c, b.Docs(), BuildOptions{})
+	for d := 0; d < 5; d++ {
+		addRandomDocs(t, rb, rng, 1)
+		assertColumnarMirrors(t, c)
+	}
+	if c.Columnar() != coBefore {
+		t.Error("reopening replaced the arena instead of extending it")
+	}
+}
+
+// TestReopenBuilderRebuildsMissingView: a hand-assembled corpus (no
+// columnar view, the state of a legacy-format load before Load learned to
+// rebuild) gains a view covering its existing transactions the moment it
+// is reopened, and new documents extend it.
+func TestReopenBuilderRebuildsMissingView(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBuilder(BuildOptions{})
+	addRandomDocs(t, b, rng, 3)
+	built := b.Finish()
+
+	// Strip the view by rebuilding a bare corpus over the same tables and
+	// fresh spanless transactions.
+	bare := &Corpus{Paths: built.Paths, Items: built.Items, Terms: built.Terms}
+	for _, tr := range built.Transactions {
+		bare.Transactions = append(bare.Transactions,
+			NewTransaction(append([]ItemID(nil), tr.Items...), tr.Doc, tr.TupleIndex, tr.Label))
+	}
+	if bare.Columnar() != nil {
+		t.Fatal("bare corpus unexpectedly has a view")
+	}
+	rb := ReopenBuilder(bare, b.Docs(), BuildOptions{})
+	assertColumnarMirrors(t, bare)
+	addRandomDocs(t, rb, rng, 2)
+	assertColumnarMirrors(t, bare)
+}
+
+// TestColumnarWeightRefresh: SetVector leaves the weight column stale by
+// design; a full refresh syncs every position, and the incremental refresh
+// only covers positions appended since the last pass.
+func TestColumnarWeightRefresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	b := NewBuilder(BuildOptions{})
+	addRandomDocs(t, b, rng, 4)
+	c := b.Finish()
+	c.RefreshColumnarWeights()
+
+	// Rewrite every item's vector: full refresh must propagate all norms.
+	for id := 0; id < c.Items.Len(); id++ {
+		c.Items.SetVector(ItemID(id), vector.FromMap(map[int32]float64{int32(id): float64(id + 1)}))
+	}
+	c.RefreshColumnarWeights()
+	assertColumnarMirrors(t, c)
+
+	// Incremental: append documents through a reopened builder, give only
+	// the new items vectors, and refresh just the new positions.
+	rb := ReopenBuilder(c, b.Docs(), BuildOptions{})
+	oldItems := c.Items.Len()
+	addRandomDocs(t, rb, rng, 2)
+	for id := oldItems; id < c.Items.Len(); id++ {
+		c.Items.SetVector(ItemID(id), vector.FromMap(map[int32]float64{int32(id): 2}))
+	}
+	c.RefreshNewColumnarWeights()
+	assertColumnarMirrors(t, c)
+}
+
+// TestColumnarEmptyCorpus: a builder that never sees a document still
+// yields a coherent (empty) view — zero spans, zero positions — and
+// RebuildColumnar on an empty hand-assembled corpus does the same.
+func TestColumnarEmptyCorpus(t *testing.T) {
+	c := NewBuilder(BuildOptions{}).Finish()
+	co := c.Columnar()
+	if co == nil {
+		t.Fatal("empty builder corpus has no view")
+	}
+	if co.Len() != 0 {
+		t.Fatalf("empty arena Len = %d", co.Len())
+	}
+	paths := xmltree.NewPathTable()
+	bare := &Corpus{Paths: paths, Items: NewItemTable(paths), Terms: NewTermTable()}
+	bare.RebuildColumnar()
+	if n := bare.Columnar().NumSpans(); n != 0 {
+		t.Fatalf("rebuilt empty corpus has %d spans", n)
+	}
+}

@@ -4,6 +4,17 @@
 // every tree tuple becomes a transaction, i.e. the set of items of its
 // leaves. Items are interned collection-wide so that identical
 // path/answer combinations map to one identifier (cf. Fig. 4(b)).
+//
+// The package maintains two views of the transaction set. The
+// pointer-based view (Transaction.Items resolving through ItemTable) is
+// the mutation and bookkeeping surface. The columnar view (Columnar) is a
+// struct-of-arrays arena — contiguous item-id, tag-path and weight blocks
+// with transactions as [start, end) spans — kept current by the builder on
+// every published transaction; it is the similarity kernel's scan layout
+// and the gob persistence format (format 2, see persist.go). Both views
+// share one source of truth: the columnar blocks are derived columns of
+// the item table, refreshed through Corpus.RefreshColumnarWeights /
+// RefreshNewColumnarWeights after weighting passes.
 package txn
 
 import (
@@ -11,6 +22,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xmlclust/internal/vector"
 	"xmlclust/internal/xmltree"
@@ -57,12 +69,26 @@ type itemKey struct {
 
 // ItemTable interns items by (complete path, answer). It is safe for
 // concurrent use: peers conflate representative items concurrently.
+//
+// Besides the canonical *Item records the table maintains two parallel
+// columns — tag paths and TCU vectors indexed by id — so the similarity
+// kernel's bulk resolution reads flat arrays instead of dereferencing an
+// Item per element. The columns are plain derived copies of the Item
+// fields, kept in lock step by Intern/InternSynthetic/SetVector.
 type ItemTable struct {
 	paths *xmltree.PathTable
 
 	mu    sync.RWMutex
 	byKey map[itemKey]ItemID
 	items []*Item
+	// Columns of items, indexed by id.
+	tagPaths []xmltree.PathID
+	vecs     []vector.Sparse
+	// vecVer counts SetVector calls; similarity scratches key their
+	// resolved-vector memos on it so a weighting pass (which rewrites
+	// vectors in place) invalidates every memo instead of silently serving
+	// stale content similarities.
+	vecVer atomic.Uint64
 }
 
 // NewItemTable creates an empty table bound to a path table.
@@ -88,12 +114,15 @@ func (it *ItemTable) Intern(path xmltree.PathID, answer string) ItemID {
 		return id
 	}
 	id = ItemID(len(it.items))
+	tp := it.paths.TagPath(path)
 	it.items = append(it.items, &Item{
 		ID:      id,
 		Path:    path,
-		TagPath: it.paths.TagPath(path),
+		TagPath: tp,
 		Answer:  answer,
 	})
+	it.tagPaths = append(it.tagPaths, tp)
+	it.vecs = append(it.vecs, vector.Sparse{})
 	it.byKey[key] = id
 	return id
 }
@@ -109,15 +138,18 @@ func (it *ItemTable) InternSynthetic(path xmltree.PathID, answer string, vec vec
 		return id
 	}
 	id := ItemID(len(it.items))
+	tp := it.paths.TagPath(path)
 	it.items = append(it.items, &Item{
 		ID:           id,
 		Path:         path,
-		TagPath:      it.paths.TagPath(path),
+		TagPath:      tp,
 		Answer:       answer,
 		Vector:       vec,
 		Synthetic:    true,
 		Constituents: append([]ItemID(nil), constituents...),
 	})
+	it.tagPaths = append(it.tagPaths, tp)
+	it.vecs = append(it.vecs, vec)
 	it.byKey[key] = id
 	return id
 }
@@ -132,9 +164,8 @@ func (it *ItemTable) Get(id ItemID) *Item {
 }
 
 // Resolve fills out (which must have len(ids)) with the items of ids under
-// a single lock acquisition — the bulk form of Get for hot loops that
-// dereference whole transactions (the similarity kernel resolves both
-// sides of every pair; one lock per transaction instead of one per item).
+// a single lock acquisition — the bulk form of Get for loops that
+// dereference whole transactions at once.
 func (it *ItemTable) Resolve(ids []ItemID, out []*Item) {
 	it.mu.RLock()
 	for i, id := range ids {
@@ -142,6 +173,36 @@ func (it *ItemTable) Resolve(ids []ItemID, out []*Item) {
 	}
 	it.mu.RUnlock()
 }
+
+// ResolveVectors fills out (which must have len(ids)) with the TCU vectors
+// of ids under a single lock acquisition, reading the flat vector column —
+// the similarity kernel's per-transaction content resolution: no *Item is
+// touched, and the copied headers stay valid however the table grows.
+func (it *ItemTable) ResolveVectors(ids []ItemID, out []vector.Sparse) {
+	it.mu.RLock()
+	for i, id := range ids {
+		out[i] = it.vecs[id]
+	}
+	it.mu.RUnlock()
+}
+
+// ResolveColumns fills tps and vecs (each len(ids)) with the tag-path and
+// vector columns of ids under one lock acquisition — the kernel's fallback
+// resolution for transactions without a columnar span (synthetic
+// representatives, hand-assembled corpora, classify-time transients).
+func (it *ItemTable) ResolveColumns(ids []ItemID, tps []xmltree.PathID, vecs []vector.Sparse) {
+	it.mu.RLock()
+	for i, id := range ids {
+		tps[i] = it.tagPaths[id]
+		vecs[i] = it.vecs[id]
+	}
+	it.mu.RUnlock()
+}
+
+// VecVersion returns the monotone count of SetVector calls. Kernel
+// scratches pair it with the table identity to decide whether a memoized
+// transaction resolution is still current.
+func (it *ItemTable) VecVersion() uint64 { return it.vecVer.Load() }
 
 // Len returns the number of interned items.
 func (it *ItemTable) Len() int {
@@ -154,7 +215,9 @@ func (it *ItemTable) Len() int {
 func (it *ItemTable) SetVector(id ItemID, v vector.Sparse) {
 	it.mu.Lock()
 	it.items[id].Vector = v
+	it.vecs[id] = v
 	it.mu.Unlock()
+	it.vecVer.Add(1)
 }
 
 // MergedAnswerKey canonicalizes a set of answers for conflated items: the

@@ -2,6 +2,7 @@ package txn
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -9,18 +10,43 @@ import (
 	"xmlclust/internal/xmltree"
 )
 
-// persistFormat versions the on-disk corpus encoding.
-const persistFormat = 1
+// persistFormat versions the on-disk corpus encoding. Format 1 stored one
+// wireTransaction record per transaction; format 2 stores the transaction
+// set as columnar blocks (one flat id arena plus an offset table), which
+// gob encodes as three contiguous slices instead of a length-prefixed
+// struct per transaction — smaller streams, and decoding is a near-memcpy.
+// Load accepts both.
+const persistFormat = 2
+
+// ErrCorruptCorpus tags every structural-corruption error Load returns —
+// truncated streams, offset tables that do not tile the arena, spans with
+// out-of-range or unsorted ids, dangling constituents, inconsistent
+// interning tables. Callers distinguish "this stream is damaged" from
+// version skew ("unsupported corpus format", not wrapped) and plain I/O
+// with errors.Is.
+var ErrCorruptCorpus = errors.New("corrupt corpus stream")
 
 // wireCorpus is the gob representation of a preprocessed corpus. Trees are
 // not persisted — a corpus is self-contained for clustering (the
 // transactions and weighted items carry everything the algorithms read).
 type wireCorpus struct {
-	Format        int
-	Paths         []string
-	Terms         []string
-	Items         []wireItem
-	Transactions  []wireTransaction
+	Format int
+	Paths  []string
+	Terms  []string
+	Items  []wireItem
+	// Transactions is the format-1 array-of-structs encoding; nil in
+	// format-2 streams (gob omits empty slices).
+	Transactions []wireTransaction
+	// Format-2 columnar transaction blocks: TxnItems is the flat arena of
+	// item ids, transaction i spanning [TxnOffsets[i], TxnOffsets[i+1]);
+	// docs, tuple indices and labels are parallel per-transaction columns.
+	// Tag paths and weights are not persisted — they are derived columns,
+	// rebuilt from the item table on load.
+	TxnItems      []ItemID
+	TxnOffsets    []int32
+	TxnDocs       []int32
+	TxnTuples     []int32
+	TxnLabels     []int32
 	TruncatedDocs int
 	MaxDepth      int
 }
@@ -41,7 +67,9 @@ type wireTransaction struct {
 }
 
 // Save serializes the corpus (without source trees) so preprocessing can be
-// done once and reused across clustering runs.
+// done once and reused across clustering runs. The transaction set is
+// written as format-2 columnar blocks derived from Transactions directly,
+// so hand-assembled corpora save identically to builder-built ones.
 func (c *Corpus) Save(w io.Writer) error {
 	wc := wireCorpus{
 		Format:        persistFormat,
@@ -64,10 +92,21 @@ func (c *Corpus) Save(w io.Writer) error {
 			Constituents: it.Constituents,
 		})
 	}
+	total := 0
 	for _, tr := range c.Transactions {
-		wc.Transactions = append(wc.Transactions, wireTransaction{
-			Items: tr.Items, Doc: tr.Doc, TupleIndex: tr.TupleIndex, Label: tr.Label,
-		})
+		total += len(tr.Items)
+	}
+	wc.TxnItems = make([]ItemID, 0, total)
+	wc.TxnOffsets = make([]int32, 1, len(c.Transactions)+1)
+	wc.TxnDocs = make([]int32, 0, len(c.Transactions))
+	wc.TxnTuples = make([]int32, 0, len(c.Transactions))
+	wc.TxnLabels = make([]int32, 0, len(c.Transactions))
+	for _, tr := range c.Transactions {
+		wc.TxnItems = append(wc.TxnItems, tr.Items...)
+		wc.TxnOffsets = append(wc.TxnOffsets, int32(len(wc.TxnItems)))
+		wc.TxnDocs = append(wc.TxnDocs, int32(tr.Doc))
+		wc.TxnTuples = append(wc.TxnTuples, int32(tr.TupleIndex))
+		wc.TxnLabels = append(wc.TxnLabels, int32(tr.Label))
 	}
 	if err := gob.NewEncoder(w).Encode(wc); err != nil {
 		return fmt.Errorf("txn: save corpus: %w", err)
@@ -75,39 +114,47 @@ func (c *Corpus) Save(w io.Writer) error {
 	return nil
 }
 
-// Load deserializes a corpus written by Save. The returned corpus has no
-// source trees (Trees is nil); everything the clustering pipeline needs is
-// restored, including interning-table identities.
+// corrupt wraps a corruption description with the typed sentinel.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("txn: load corpus: %w: %s", ErrCorruptCorpus, fmt.Sprintf(format, args...))
+}
+
+// Load deserializes a corpus written by Save — the current columnar format
+// or the legacy format 1. The returned corpus has no source trees;
+// everything the clustering pipeline needs is restored, including
+// interning-table identities and the columnar similarity view. Damaged
+// streams fail with an error wrapping ErrCorruptCorpus, never a panic or a
+// silently short corpus.
 func Load(r io.Reader) (*Corpus, error) {
 	var wc wireCorpus
 	if err := gob.NewDecoder(r).Decode(&wc); err != nil {
-		return nil, fmt.Errorf("txn: load corpus: %w", err)
+		return nil, fmt.Errorf("txn: load corpus: %w: %w", ErrCorruptCorpus, err)
 	}
-	if wc.Format != persistFormat {
+	if wc.Format != persistFormat && wc.Format != 1 {
 		return nil, fmt.Errorf("txn: unsupported corpus format %d", wc.Format)
 	}
 	paths := xmltree.NewPathTable()
 	for i, p := range wc.Paths {
 		if id := paths.Intern(xmltree.ParsePath(p)); int(id) != i {
-			return nil, fmt.Errorf("txn: corrupt path table at %d (%q)", i, p)
+			return nil, corrupt("path table at %d (%q)", i, p)
 		}
 	}
 	terms := NewTermTable()
 	for i, t := range wc.Terms {
 		if id := terms.Intern(t); int(id) != i {
-			return nil, fmt.Errorf("txn: corrupt term table at %d (%q)", i, t)
+			return nil, corrupt("term table at %d (%q)", i, t)
 		}
 	}
 	items := NewItemTable(paths)
 	for i, wi := range wc.Items {
 		if wi.Path < 0 || int(wi.Path) >= paths.Len() {
-			return nil, fmt.Errorf("txn: item %d references unknown path %d", i, wi.Path)
+			return nil, corrupt("item %d references unknown path %d", i, wi.Path)
 		}
 		var id ItemID
 		if wi.Synthetic {
 			for _, cid := range wi.Constituents {
 				if cid < 0 || int(cid) >= i {
-					return nil, fmt.Errorf("txn: synthetic item %d references unknown constituent %d", i, cid)
+					return nil, corrupt("synthetic item %d references unknown constituent %d", i, cid)
 				}
 			}
 			id = items.InternSynthetic(xmltree.PathID(wi.Path), wi.Answer, vector.FromEntries(wi.Vector), wi.Constituents)
@@ -116,7 +163,7 @@ func Load(r io.Reader) (*Corpus, error) {
 			items.SetVector(id, vector.FromEntries(wi.Vector))
 		}
 		if int(id) != i {
-			return nil, fmt.Errorf("txn: corrupt item table at %d", i)
+			return nil, corrupt("item table at %d", i)
 		}
 	}
 	c := &Corpus{
@@ -126,16 +173,110 @@ func Load(r io.Reader) (*Corpus, error) {
 		TruncatedDocs: wc.TruncatedDocs,
 		MaxDepth:      wc.MaxDepth,
 	}
-	n := items.Len()
+	var err error
+	if wc.Format == 1 {
+		err = loadTransactionsV1(c, &wc)
+	} else {
+		err = loadTransactionsColumnar(c, &wc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.cols == nil {
+		c.RebuildColumnar()
+	}
+	return c, nil
+}
+
+// loadTransactionsV1 restores the legacy array-of-structs transaction
+// encoding; the columnar view is rebuilt by the caller.
+func loadTransactionsV1(c *Corpus, wc *wireCorpus) error {
+	n := c.Items.Len()
 	for i, wt := range wc.Transactions {
 		for _, id := range wt.Items {
 			if id < 0 || int(id) >= n {
-				return nil, fmt.Errorf("txn: transaction %d references unknown item %d", i, id)
+				return corrupt("transaction %d references unknown item %d", i, id)
 			}
 		}
 		c.Transactions = append(c.Transactions, &Transaction{
 			Items: wt.Items, Doc: wt.Doc, TupleIndex: wt.TupleIndex, Label: wt.Label,
 		})
 	}
-	return c, nil
+	return nil
+}
+
+// loadTransactionsColumnar validates and restores the format-2 blocks: the
+// offset table must tile the id arena exactly, the per-transaction columns
+// must agree on the transaction count, and every span must hold strictly
+// ascending ids within the item table. Transactions alias the flat arena
+// (capacity-clamped so no span can grow into its neighbor), which also
+// becomes the in-memory columnar view — one backing array end to end.
+func loadTransactionsColumnar(c *Corpus, wc *wireCorpus) error {
+	nTx := 0
+	switch {
+	case len(wc.TxnOffsets) == 0:
+		if len(wc.TxnItems) != 0 {
+			return corrupt("columnar block has %d item positions but no offset table", len(wc.TxnItems))
+		}
+	default:
+		if wc.TxnOffsets[0] != 0 {
+			return corrupt("columnar offset table starts at %d, want 0", wc.TxnOffsets[0])
+		}
+		if got := int(wc.TxnOffsets[len(wc.TxnOffsets)-1]); got != len(wc.TxnItems) {
+			return corrupt("columnar offset table ends at %d, arena has %d positions", got, len(wc.TxnItems))
+		}
+		nTx = len(wc.TxnOffsets) - 1
+	}
+	if len(wc.TxnDocs) != nTx || len(wc.TxnTuples) != nTx || len(wc.TxnLabels) != nTx {
+		return corrupt("columnar transaction columns disagree: %d offsets vs %d docs, %d tuples, %d labels",
+			nTx, len(wc.TxnDocs), len(wc.TxnTuples), len(wc.TxnLabels))
+	}
+	nItems := c.Items.Len()
+	co := &Columnar{
+		itemIDs:    wc.TxnItems,
+		tagPathIDs: make([]xmltree.PathID, len(wc.TxnItems)),
+		weights:    make([]float64, len(wc.TxnItems)),
+		offsets:    wc.TxnOffsets,
+	}
+	if nTx == 0 {
+		co.offsets = []int32{0}
+	}
+	for i := 0; i < nTx; i++ {
+		lo, hi := wc.TxnOffsets[i], wc.TxnOffsets[i+1]
+		if hi < lo {
+			return corrupt("transaction %d spans [%d, %d): negative length", i, lo, hi)
+		}
+		span := wc.TxnItems[lo:hi:hi]
+		var prev ItemID = -1
+		for _, id := range span {
+			if id < 0 || int(id) >= nItems {
+				return corrupt("transaction %d references unknown item %d", i, id)
+			}
+			if id <= prev {
+				return corrupt("transaction %d span not strictly ascending at item %d", i, id)
+			}
+			prev = id
+		}
+		c.Transactions = append(c.Transactions, &Transaction{
+			Items:      span,
+			Doc:        int(wc.TxnDocs[i]),
+			TupleIndex: int(wc.TxnTuples[i]),
+			Label:      int(wc.TxnLabels[i]),
+			cols:       co,
+			colStart:   lo,
+		})
+	}
+	c.Items.mu.RLock()
+	for i, id := range co.itemIDs {
+		co.tagPathIDs[i] = c.Items.tagPaths[id]
+		co.weights[i] = c.Items.vecs[id].Norm()
+	}
+	c.Items.mu.RUnlock()
+	co.refreshed = len(co.itemIDs)
+	// Publish the tag-path header for the kernel's lock-free span reads —
+	// the restored transactions carry spans without going through appendSpan.
+	h := co.tagPathIDs
+	co.tagPathsPub.Store(&h)
+	c.cols = co
+	return nil
 }
