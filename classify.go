@@ -27,6 +27,85 @@ type ClassifyOptions struct {
 	// (0 = tuple package default). It should match the cap the corpus was
 	// built with so documents decompose the same way on both paths.
 	MaxTuplesPerTree int
+	// IndexReps selects the inverted representative index for the scan
+	// (default RepIndexAuto = on; the assignment is byte-identical in every
+	// mode). Without a prebuilt Index the index is built per call — worth it
+	// from a few dozen representatives up; pass RepIndexOff for tiny rep
+	// sets on hot paths.
+	IndexReps RepIndexMode
+	// Index, when non-nil, is a prebuilt representative index from
+	// Engine.BuildRepIndex. It is used only when it matches this call — same
+	// engine, same (F, Gamma) and the identical representative slice
+	// contents — otherwise the call behaves as if Index were nil. A serving
+	// layer that classifies many documents against a frozen representative
+	// set should build once and reuse.
+	Index *RepIndex
+}
+
+// RepIndex is a prebuilt inverted representative index bound to one
+// (engine, F, Gamma, representative-set) combination — the amortized form
+// of ClassifyOptions.IndexReps for serving layers that classify a stream of
+// documents against frozen representatives. Build it with
+// Engine.BuildRepIndex and pass it via ClassifyOptions.Index. A RepIndex is
+// immutable after construction and safe for concurrent use; items interned
+// after it was built (online document adds) are handled soundly by
+// construction, so it never needs eager rebuilding — rebuild only when the
+// representative set changes.
+type RepIndex struct {
+	ix   *sim.RepIndex
+	cx   *sim.Context
+	reps []*Transaction
+}
+
+// Enabled reports whether the index is active — false when the premises of
+// the pruning bound fail for the (F, Gamma) it was built with (γ = 0 or a
+// semantic tag matcher), in which case scans fall back to the flat path.
+func (ri *RepIndex) Enabled() bool { return ri != nil && ri.ix.Enabled() }
+
+// Entries reports the number of inverted-index postings keys (distinct
+// tags + distinct terms) the index holds.
+func (ri *RepIndex) Entries() int {
+	if ri == nil {
+		return 0
+	}
+	return ri.ix.Entries()
+}
+
+// Reps reports how many non-empty representatives the index covers.
+func (ri *RepIndex) Reps() int {
+	if ri == nil {
+		return 0
+	}
+	return ri.ix.Active()
+}
+
+// BuildRepIndex builds an inverted representative index over reps for the
+// given similarity knobs, sharing the engine's warm caches. The returned
+// index matches ClassifyTransactions calls with the same (F, Gamma) and the
+// identical representative slice contents.
+func (e *Engine) BuildRepIndex(reps []*Transaction, f, gamma float64) (*RepIndex, error) {
+	if err := validateKFGamma(1, f, gamma); err != nil {
+		return nil, err
+	}
+	cx := e.simContext(sim.Params{F: f, Gamma: gamma})
+	ix := sim.NewRepIndex()
+	ix.Build(cx, reps)
+	return &RepIndex{ix: ix, cx: cx, reps: reps}, nil
+}
+
+// matches reports whether the prebuilt index covers exactly this scan:
+// the same similarity context and the same representative pointers in the
+// same order.
+func (ri *RepIndex) matches(cx *sim.Context, reps []*Transaction) bool {
+	if ri == nil || ri.cx != cx || len(ri.reps) != len(reps) {
+		return false
+	}
+	for i := range reps {
+		if ri.reps[i] != reps[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Classification is the outcome of classifying one document (or an explicit
@@ -46,6 +125,10 @@ type Classification struct {
 	// attribution caveat applies).
 	PrunedRows    int64
 	ScratchReuses int64
+	// IndexCandidates and IndexSkipped are the representative-index deltas
+	// of this call (see Result; zero when the scan ran flat).
+	IndexCandidates int64
+	IndexSkipped    int64
 }
 
 // ClassifyTransactions assigns each transaction to its most similar
@@ -66,27 +149,56 @@ func (e *Engine) ClassifyTransactions(ctx context.Context, trs []*Transaction, r
 	cx := e.simContext(sim.Params{F: opts.F, Gamma: opts.Gamma})
 	prunedBefore := cx.Counters.PrunedRows.Load()
 	reusesBefore := cx.Counters.ScratchReuses.Load()
+	candBefore := cx.Counters.IndexCandidates.Load()
+	skipBefore := cx.Counters.IndexSkipped.Load()
+
+	// Pick the index tier: a matching prebuilt index wins; otherwise build
+	// one for this call unless the mode forces the flat scan.
+	var ix *sim.RepIndex
+	if opts.IndexReps.enabled() {
+		if opts.Index.matches(cx, reps) {
+			ix = opts.Index.ix
+		} else {
+			ix = sim.NewRepIndex()
+			ix.Build(cx, reps)
+		}
+	}
 
 	assign := make([]int, len(trs))
 	sims := make([]float64, len(trs))
-	scratches := make([]*sim.Scratch, parallel.WorkerCount(opts.Workers, len(trs)))
+	nw := parallel.WorkerCount(opts.Workers, len(trs))
+	scratches := make([]*sim.Scratch, nw)
+	var queries []*sim.RepQuery
+	if ix != nil && ix.Enabled() {
+		queries = make([]*sim.RepQuery, nw)
+	}
 	err := parallel.ForCtxWorkers(ctx, opts.Workers, len(trs), func(w, i int) {
 		sc := scratches[w]
 		if sc == nil {
 			sc = sim.NewScratch()
 			scratches[w] = sc
 		}
-		assign[i], sims[i] = cluster.RelocateOne(cx, trs[i], reps, sc)
+		var rq *sim.RepQuery
+		if queries != nil {
+			rq = queries[w]
+			if rq == nil {
+				rq = sim.NewRepQuery()
+				queries[w] = rq
+			}
+		}
+		assign[i], sims[i] = cluster.RelocateOneIndexed(cx, trs[i], reps, ix, rq, sc)
 	})
 	if err != nil {
 		return nil, fmt.Errorf("xmlclust: classify: %w: %w", ErrCanceled, err)
 	}
 	return &Classification{
-		Cluster:       MajorityCluster(assign),
-		Assign:        assign,
-		Sims:          sims,
-		PrunedRows:    cx.Counters.PrunedRows.Load() - prunedBefore,
-		ScratchReuses: cx.Counters.ScratchReuses.Load() - reusesBefore,
+		Cluster:         MajorityCluster(assign),
+		Assign:          assign,
+		Sims:            sims,
+		PrunedRows:      cx.Counters.PrunedRows.Load() - prunedBefore,
+		ScratchReuses:   cx.Counters.ScratchReuses.Load() - reusesBefore,
+		IndexCandidates: cx.Counters.IndexCandidates.Load() - candBefore,
+		IndexSkipped:    cx.Counters.IndexSkipped.Load() - skipBefore,
 	}, nil
 }
 

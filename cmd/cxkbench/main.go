@@ -35,12 +35,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | sweep | kernel | all")
+		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | sweep | kernel | relocate | all")
 		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma/workers/sweep/kernel)")
 		scaleFl = flag.String("scale", "quick", "profile: quick | paper")
 		workers = flag.Int("workers", 1, "intra-peer worker goroutines, also used as ingest workers for corpus preparation (0 = one per CPU); results are identical for any value")
-		jsonFl  = flag.String("json", "", "write the kernel experiment's results as JSON to this path (e.g. BENCH_kernel.json)")
-		minSpd  = flag.Float64("min-speedup", 0, "kernel experiment: exit non-zero if speedup-vs-seed falls below this bar (0 = no gate)")
+		jsonFl  = flag.String("json", "", "write the kernel/relocate experiment's results as JSON to this path (e.g. BENCH_kernel.json)")
+		minSpd  = flag.Float64("min-speedup", 0, "kernel/relocate experiment: exit non-zero if the gated speedup (vs seed / at k=256) falls below this bar (0 = no gate)")
 	)
 	flag.Parse()
 
@@ -160,6 +160,14 @@ func main() {
 			d = canonical(*ds)
 		}
 		check(runKernel(d, scale, *workers, *jsonFl, *minSpd))
+		fmt.Println()
+	}
+	if want("relocate") {
+		d := "DBLP"
+		if *ds != "" {
+			d = canonical(*ds)
+		}
+		check(runRelocate(d, scale, *workers, *jsonFl, *minSpd))
 		fmt.Println()
 	}
 }

@@ -43,6 +43,7 @@ func main() {
 		maxTup   = flag.Int("maxtuples", 0, "cap on tree tuples per document (0 = default)")
 		verbose  = flag.Bool("v", false, "print per-transaction assignments")
 		progress = flag.Bool("progress", false, "stream per-round progress events to stderr")
+		noIndex  = flag.Bool("no-rep-index", false, "disable the inverted representative index and scan all representatives per assignment (output is identical either way)")
 		saveTo   = flag.String("save", "", "write the preprocessed corpus to this file after building")
 		loadFm   = flag.String("load", "", "load a preprocessed corpus instead of parsing XML")
 	)
@@ -133,10 +134,14 @@ func main() {
 	if *progress {
 		events = progressPrinter()
 	}
+	indexMode := xmlclust.RepIndexAuto
+	if *noIndex {
+		indexMode = xmlclust.RepIndexOff
+	}
 	res, err := eng.Cluster(ctx, xmlclust.ClusterOptions{
 		K: *k, F: *f, Gamma: *gamma, Peers: *peers, Workers: *workers,
 		Seed: *seed, UseTCP: *tcp, UnequalSplit: *unequal,
-		Events: events,
+		IndexReps: indexMode, Events: events,
 	})
 	if errors.Is(err, xmlclust.ErrCanceled) {
 		fmt.Fprintln(os.Stderr, "cxkcluster: interrupted, run aborted at a round boundary")
@@ -187,8 +192,11 @@ func main() {
 
 // progressPrinter renders the engine's event stream as one stderr line per
 // completed peer round plus start/termination markers. Events arrive
-// serialized, so no extra locking is needed.
+// serialized, so no extra locking is needed. The index counters on events
+// are run-wide running totals; the printer differences consecutive events
+// to report the representatives evaluated vs skipped since the last line.
 func progressPrinter() func(xmlclust.Event) {
+	var lastCand, lastSkip int64
 	return func(ev xmlclust.Event) {
 		switch ev.Kind {
 		case xmlclust.EventRoundStart:
@@ -196,12 +204,17 @@ func progressPrinter() func(xmlclust.Event) {
 				fmt.Fprintf(os.Stderr, "round %d …\n", ev.Round+1)
 			}
 		case xmlclust.EventRoundEnd:
-			fmt.Fprintf(os.Stderr, "  peer %d round %d: objective %.4f, sent %d msgs / %d B, %v elapsed\n",
-				ev.Peer, ev.Round+1, ev.Objective, ev.SentMsgs, ev.SentBytes, ev.Elapsed.Round(time.Millisecond))
+			line := fmt.Sprintf("  peer %d round %d: objective %.4f, sent %d msgs / %d B",
+				ev.Peer, ev.Round+1, ev.Objective, ev.SentMsgs, ev.SentBytes)
+			if dc, ds := ev.IndexCandidates-lastCand, ev.IndexSkipped-lastSkip; dc+ds > 0 {
+				line += fmt.Sprintf(", reps evaluated %d / skipped %d", dc, ds)
+				lastCand, lastSkip = ev.IndexCandidates, ev.IndexSkipped
+			}
+			fmt.Fprintf(os.Stderr, "%s, %v elapsed\n", line, ev.Elapsed.Round(time.Millisecond))
 		case xmlclust.EventDone:
 			if ev.Peer == -1 {
-				fmt.Fprintf(os.Stderr, "done: %d rounds in %v (kernel: %d matrix rows pruned, %d warm-scratch reuses)\n",
-					ev.Round, ev.Elapsed.Round(time.Millisecond), ev.PrunedRows, ev.ScratchReuses)
+				fmt.Fprintf(os.Stderr, "done: %d rounds in %v (kernel: %d matrix rows pruned, %d warm-scratch reuses; index: %d reps evaluated, %d skipped)\n",
+					ev.Round, ev.Elapsed.Round(time.Millisecond), ev.PrunedRows, ev.ScratchReuses, ev.IndexCandidates, ev.IndexSkipped)
 			}
 		}
 	}

@@ -55,6 +55,7 @@ func main() {
 		startTO = flag.Duration("startup-timeout", 0, "how long to wait for the coordinator's startup message (0 = default, negative = none)")
 		dialTO  = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peer listeners to come up")
 		quiet   = flag.Bool("q", false, "suppress the per-peer summary on stderr")
+		noIndex = flag.Bool("no-rep-index", false, "disable the inverted representative index for this peer's assignment scans (purely local; output is identical either way)")
 	)
 	flag.Parse()
 	if *peers == "" || *corpusF == "" {
@@ -89,11 +90,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	indexMode := xmlclust.RepIndexAuto
+	if *noIndex {
+		indexMode = xmlclust.RepIndexOff
+	}
 	res, err := eng.ClusterDistributed(ctx, xmlclust.DistributedOptions{
 		K: *k, F: *f, Gamma: *gamma,
 		ID: *id, PeerAddrs: addrs, Listen: *listen,
 		Workers: *workers, UnequalSplit: *unequal,
-		Seed: *seed, MaxRounds: *rounds,
+		Seed: *seed, MaxRounds: *rounds, IndexReps: indexMode,
 		RoundTimeout: *roundTO, StartupTimeout: *startTO, DialTimeout: *dialTO,
 	})
 	if errors.Is(err, xmlclust.ErrCanceled) {

@@ -61,6 +61,7 @@ func main() {
 		drift   = flag.Float64("drift", 0, "dirty-transaction fraction that triggers a refresh (0 = default 0.25, negative = refresh on any drift)")
 		every   = flag.Duration("maintenance", serve.DefaultMaintenanceInterval, "maintenance loop interval")
 		quiet   = flag.Bool("q", false, "suppress the progress log on stderr")
+		noIndex = flag.Bool("no-rep-index", false, "disable the inverted representative index for all assignment scans (output is identical either way)")
 	)
 	flag.Parse()
 
@@ -69,10 +70,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cxkserve: "+format+"\n", args...)
 		}
 	}
+	indexMode := xmlclust.RepIndexAuto
+	if *noIndex {
+		indexMode = xmlclust.RepIndexOff
+	}
 	svc, err := serve.NewService(serve.Config{
 		K: *k, F: *f, Gamma: *gamma, Seed: *seed,
 		Workers: *workers, MaxRounds: *rounds, MaxTuplesPerTree: *maxTup,
-		DriftThreshold: *drift,
+		DriftThreshold: *drift, IndexReps: indexMode,
 		OnMaintenance: func(rs serve.RoundStats, err error) {
 			switch {
 			case err != nil:

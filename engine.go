@@ -277,6 +277,8 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, err
 	// overlap to whichever cell reads last — totals across cells stay exact.
 	prunedBefore := cx.Counters.PrunedRows.Load()
 	reusesBefore := cx.Counters.ScratchReuses.Load()
+	candBefore := cx.Counters.IndexCandidates.Load()
+	skipBefore := cx.Counters.IndexSkipped.Load()
 
 	var res *core.Result
 	var err error
@@ -285,14 +287,16 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, err
 		res, err = pkmeans.Run(ctx, cx, e.corpus, pkmeans.Options{
 			K: opts.K, Params: cx.Params, Peers: peers, Partition: part,
 			Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: transport,
-			Workers: opts.Workers, Observer: observer,
+			Workers: opts.Workers, IndexReps: opts.IndexReps.enabled(),
+			Observer: observer,
 		})
 	default:
 		res, err = core.Run(ctx, cx, e.corpus, core.Options{
 			K: opts.K, Params: cx.Params, Peers: peers, Partition: part,
 			Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: transport,
 			Workers: opts.Workers, RoundTimeout: opts.RoundTimeout,
-			Observer: observer,
+			IndexReps: opts.IndexReps.enabled(),
+			Observer:  observer,
 		})
 	}
 	if err != nil {
@@ -300,16 +304,18 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, err
 	}
 	msgs, bytes := res.TotalTraffic()
 	return &Result{
-		Assign:        res.Assign,
-		Reps:          res.Reps,
-		Rounds:        res.Rounds,
-		WallTime:      res.WallTime,
-		SimulatedTime: res.SimulatedTime(p2p.DefaultTimeModel()),
-		TrafficBytes:  bytes,
-		TrafficMsgs:   msgs,
-		K:             opts.K,
-		PrunedRows:    cx.Counters.PrunedRows.Load() - prunedBefore,
-		ScratchReuses: cx.Counters.ScratchReuses.Load() - reusesBefore,
+		Assign:          res.Assign,
+		Reps:            res.Reps,
+		Rounds:          res.Rounds,
+		WallTime:        res.WallTime,
+		SimulatedTime:   res.SimulatedTime(p2p.DefaultTimeModel()),
+		TrafficBytes:    bytes,
+		TrafficMsgs:     msgs,
+		K:               opts.K,
+		PrunedRows:      cx.Counters.PrunedRows.Load() - prunedBefore,
+		ScratchReuses:   cx.Counters.ScratchReuses.Load() - reusesBefore,
+		IndexCandidates: cx.Counters.IndexCandidates.Load() - candBefore,
+		IndexSkipped:    cx.Counters.IndexSkipped.Load() - skipBefore,
 	}, nil
 }
 
@@ -370,7 +376,8 @@ func (e *Engine) ClusterDistributed(ctx context.Context, opts DistributedOptions
 		K: opts.K, Params: cx.Params, Peers: m, Partition: part,
 		Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: node,
 		Workers: opts.Workers, RoundTimeout: rt, StartupTimeout: st,
-		Observer: serializedObserver(opts.Events),
+		IndexReps: opts.IndexReps.enabled(),
+		Observer:  serializedObserver(opts.Events),
 	}, opts.ID)
 	if err != nil {
 		return nil, err

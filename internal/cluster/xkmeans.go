@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -31,6 +32,12 @@ type Config struct {
 	// means one worker per CPU; 1 forces the serial path. Any value
 	// produces output byte-identical to Workers: 1 for a fixed Seed.
 	Workers int
+	// IndexReps builds a sim.RepIndex over the representatives each
+	// iteration and relocates through its candidate lists instead of the
+	// flat k-scan. Assignments and representatives are byte-identical
+	// either way (the index's bounds are exact); the index only changes how
+	// many representatives each document touches.
+	IndexReps bool
 }
 
 // DefaultMaxIter is the safety bound on clustering iterations.
@@ -139,15 +146,39 @@ func RelocateWorkers(cx *sim.Context, s []*txn.Transaction, reps []*txn.Transact
 // index, so assignments stay byte-identical to an unpruned scan for any
 // worker count (pinned by TestRelocatePruningEquivalence).
 func RelocateCtx(ctx context.Context, cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction, workers int) ([]int, error) {
+	return RelocateCtxIndexed(ctx, cx, s, reps, workers, nil)
+}
+
+// RelocateCtxIndexed is RelocateCtx driven through a representative index:
+// each worker queries ix for the candidate representatives of its
+// transaction (sorted by exact upper bound) and runs the branch-and-bound
+// argmax over those, stopping as soon as the bounds prove no unseen
+// representative can win. A nil or disabled index falls back to the flat
+// scan. ix must have been built over exactly this reps slice under cx's
+// parameters; assignments are byte-identical with the index on or off.
+func RelocateCtxIndexed(ctx context.Context, cx *sim.Context, s []*txn.Transaction, reps []*txn.Transaction, workers int, ix *sim.RepIndex) ([]int, error) {
 	assign := make([]int, len(s))
-	scratches := make([]*sim.Scratch, parallel.WorkerCount(workers, len(s)))
+	nw := parallel.WorkerCount(workers, len(s))
+	scratches := make([]*sim.Scratch, nw)
+	var queries []*sim.RepQuery
+	if ix != nil && ix.Enabled() {
+		queries = make([]*sim.RepQuery, nw)
+	}
 	err := parallel.ForCtxWorkers(ctx, workers, len(s), func(w, i int) {
 		sc := scratches[w]
 		if sc == nil {
 			sc = sim.NewScratch()
 			scratches[w] = sc
 		}
-		assign[i], _ = RelocateOne(cx, s[i], reps, sc)
+		var rq *sim.RepQuery
+		if queries != nil {
+			rq = queries[w]
+			if rq == nil {
+				rq = sim.NewRepQuery()
+				queries[w] = rq
+			}
+		}
+		assign[i], _ = RelocateOneIndexed(cx, s[i], reps, ix, rq, sc)
 	})
 	if err != nil {
 		return nil, err
@@ -181,6 +212,62 @@ func RelocateOne(cx *sim.Context, tr *txn.Transaction, reps []*txn.Transaction, 
 	return bestJ, best
 }
 
+// RelocateOneIndexed is RelocateOne through a representative index: only
+// ix's candidates for tr are evaluated, in decreasing upper-bound order,
+// and the scan stops once the remaining bounds prove no unseen candidate
+// can strictly beat the running best — or tie it at a lower cluster index.
+// The result is byte-identical to RelocateOne for the same reps:
+//
+//   - every representative with nonzero similarity to tr is a candidate
+//     (sim.RepIndex's soundness guarantee), and a zero-similarity
+//     representative can never win the flat scan either (best starts at 0
+//     and only strict improvements move it);
+//   - the kernel threshold is nudged one ulp below the running best, so a
+//     candidate that exactly ties is always evaluated to completion and can
+//     claim the tie when its index is lower — the flat scan's lowest-index
+//     rule, reached from a different evaluation order;
+//   - the early exit only fires when a candidate's bound is strictly below
+//     best, or equal to it at a higher index: the (UB desc, index asc)
+//     candidate order makes every remaining candidate lose by the same
+//     argument.
+//
+// Work accounting: evaluated candidates are added to
+// Counters.IndexCandidates, and the representatives never touched
+// (non-candidates plus bound-pruned candidates) to Counters.IndexSkipped;
+// the two sum to ix.Active() per call. A nil or disabled index falls back
+// to the flat scan (no counters move). rq may be nil (allocates per call);
+// pass a per-goroutine RepQuery on hot paths.
+func RelocateOneIndexed(cx *sim.Context, tr *txn.Transaction, reps []*txn.Transaction, ix *sim.RepIndex, rq *sim.RepQuery, sc *sim.Scratch) (int, float64) {
+	if ix == nil || !ix.Enabled() {
+		return RelocateOne(cx, tr, reps, sc)
+	}
+	if sc == nil {
+		sc = sim.NewScratch()
+	}
+	if rq == nil {
+		rq = sim.NewRepQuery()
+	}
+	n := ix.Candidates(tr, rq)
+	best, bestJ := 0.0, TrashCluster
+	evaluated := 0
+	for c := 0; c < n; c++ {
+		j, ub := rq.Candidate(c)
+		if ub < best || (ub == best && j > bestJ) {
+			break
+		}
+		v := cx.TransactionsAtLeast(tr, reps[j], math.Nextafter(best, math.Inf(-1)), sc)
+		evaluated++
+		if v > best {
+			best, bestJ = v, j
+		} else if v == best && j < bestJ {
+			bestJ = j
+		}
+	}
+	cx.Counters.IndexCandidates.Add(int64(evaluated))
+	cx.Counters.IndexSkipped.Add(int64(ix.Active() - evaluated))
+	return bestJ, best
+}
+
 // XKMeans runs the centralized transactional clustering: select k initial
 // representatives from distinct documents, then alternate relocation and
 // representative recomputation until representatives are stable.
@@ -201,9 +288,16 @@ func XKMeans(cx *sim.Context, s []*txn.Transaction, cfg Config) *Clustering {
 	for i := range cl.Assign {
 		cl.Assign[i] = TrashCluster
 	}
+	var ix *sim.RepIndex
+	if cfg.IndexReps {
+		ix = sim.NewRepIndex()
+	}
 	for iter := 0; iter < maxIter; iter++ {
 		cl.Iterations = iter + 1
-		assign := RelocateWorkers(cx, s, reps, cfg.Workers)
+		if ix != nil {
+			ix.Build(cx, reps)
+		}
+		assign, _ := RelocateCtxIndexed(nil, cx, s, reps, cfg.Workers, ix)
 		newReps := make([]*txn.Transaction, k)
 		members := make([][]*txn.Transaction, k)
 		for i, a := range assign {

@@ -38,6 +38,13 @@ type Options struct {
 	// with each other; Workers adds intra-peer parallelism on top, and the
 	// result stays byte-identical to Workers: 1 for a fixed Seed.
 	Workers int
+	// IndexReps relocates each round through an inverted representative
+	// index (sim.RepIndex) rebuilt after every refinement phase: documents
+	// only evaluate the representatives the index cannot prove losers, with
+	// assignments byte-identical to the flat scan. The index self-disables
+	// (falling back to the flat scan) at γ ≤ 0 or under semantic tag
+	// matchers.
+	IndexReps bool
 	// Transport overrides the default in-process channel transport.
 	Transport p2p.Transport
 	// SerializeCompute runs peers' compute sections under a mutual
@@ -270,6 +277,7 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 			Seed:           opts.Seed + int64(i),
 			Rule:           opts.Rule,
 			Workers:        opts.Workers,
+			IndexReps:      opts.IndexReps,
 			RoundTimeout:   opts.RoundTimeout,
 			StartupTimeout: opts.StartupTimeout,
 			Expect:         expectationFrom(cx, corpus, opts),
@@ -320,9 +328,11 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 		opts.Observer(Event{
 			Kind: EventDone, Peer: -1, Round: res.Rounds, Phase: PhaseDone,
 			SentMsgs: msgs, SentBytes: bytes,
-			PrunedRows:    cx.Counters.PrunedRows.Load(),
-			ScratchReuses: cx.Counters.ScratchReuses.Load(),
-			Elapsed:       wall,
+			PrunedRows:      cx.Counters.PrunedRows.Load(),
+			ScratchReuses:   cx.Counters.ScratchReuses.Load(),
+			IndexCandidates: cx.Counters.IndexCandidates.Load(),
+			IndexSkipped:    cx.Counters.IndexSkipped.Load(),
+			Elapsed:         wall,
 		})
 	}
 	return res, nil

@@ -95,6 +95,7 @@ func RunPeer(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Opti
 		Seed:           opts.Seed + int64(id),
 		Rule:           opts.Rule,
 		Workers:        opts.Workers,
+		IndexReps:      opts.IndexReps,
 		RoundTimeout:   opts.RoundTimeout,
 		StartupTimeout: opts.StartupTimeout,
 		Expect:         expectationFrom(cx, corpus, opts),

@@ -70,6 +70,12 @@ type Event struct {
 	// ran on a fully warm (zero-allocation) Scratch. In-process peers share
 	// one context, so these are run-wide running totals, not per-peer ones.
 	PrunedRows, ScratchReuses int64
+	// IndexCandidates and IndexSkipped snapshot the representative-index
+	// counters (IndexReps runs): representatives actually evaluated by
+	// index-guided relocation versus representatives the index proved could
+	// not win and never touched. Same run-wide running-total semantics as
+	// PrunedRows.
+	IndexCandidates, IndexSkipped int64
 	// Elapsed is the time since the session (or run, for Peer == -1)
 	// started.
 	Elapsed time.Duration

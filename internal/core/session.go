@@ -36,6 +36,10 @@ type PeerConfig struct {
 	Rule cluster.ReturnRule
 	// Workers bounds intra-peer parallelism (see Options.Workers).
 	Workers int
+	// IndexReps relocates through an inverted representative index rebuilt
+	// once per round (see Options.IndexReps); assignments are byte-identical
+	// either way.
+	IndexReps bool
 	// RoundTimeout bounds every blocking receive of the session; a peer
 	// that waits longer fails with ErrRoundDeadline instead of hanging on
 	// a dead neighbour. 0 disables the deadline (trusted in-process runs).
@@ -189,6 +193,10 @@ type session struct {
 	assign     []int              // local assignment
 	rounds     int
 	report     PeerReport
+	// repIndex is the per-round inverted representative index (IndexReps);
+	// rebuilt at each relocation phase over the fixed globals, its arrays
+	// reused across rounds.
+	repIndex *sim.RepIndex
 	// seenStates fingerprints past local-representative states. Fig. 5
 	// terminates on exact representative stability; greedy representative
 	// refinement can cycle through a short orbit of states instead of
@@ -235,9 +243,11 @@ func (s *session) emit(kind EventKind, round int, objective float64) {
 		Kind: kind, Peer: s.p.cfg.ID, Round: round, Phase: s.phase,
 		Objective: objective,
 		SentMsgs:  sm, SentBytes: sb, RecvMsgs: rm, RecvBytes: rb,
-		PrunedRows:    ctrs.PrunedRows.Load(),
-		ScratchReuses: ctrs.ScratchReuses.Load(),
-		Elapsed:       time.Since(s.t0),
+		PrunedRows:      ctrs.PrunedRows.Load(),
+		ScratchReuses:   ctrs.ScratchReuses.Load(),
+		IndexCandidates: ctrs.IndexCandidates.Load(),
+		IndexSkipped:    ctrs.IndexSkipped.Load(),
+		Elapsed:         time.Since(s.t0),
 	})
 }
 
@@ -372,8 +382,19 @@ func (s *session) relocate(ctx context.Context) error {
 	repCfg := cluster.RepConfig{Ctx: cfg.Ctx, Rule: cfg.Rule, Workers: cfg.Workers}
 	var relocErr error
 	s.compute(s.round, func() {
+		// The globals are fixed for the whole relocation loop, so one index
+		// build serves every pass of this round. The session keeps the index
+		// across rounds: rebuilds reuse its slabs and maps.
+		var ix *sim.RepIndex
+		if cfg.IndexReps {
+			if s.repIndex == nil {
+				s.repIndex = sim.NewRepIndex()
+			}
+			s.repIndex.Build(cfg.Ctx, s.global)
+			ix = s.repIndex
+		}
 		for {
-			assign, err := cluster.RelocateCtx(ctx, cfg.Ctx, cfg.Local, s.global, cfg.Workers)
+			assign, err := cluster.RelocateCtxIndexed(ctx, cfg.Ctx, cfg.Local, s.global, cfg.Workers, ix)
 			if err != nil {
 				relocErr = fmt.Errorf("%w: %w", ErrCanceled, err)
 				return

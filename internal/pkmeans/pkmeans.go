@@ -56,7 +56,11 @@ type Options struct {
 	Seed      int64
 	Rule      cluster.ReturnRule
 	// Workers bounds each peer's intra-peer parallelism (see core.Options).
-	Workers          int
+	Workers int
+	// IndexReps enables the inverted representative index for the local
+	// assignment step (see core.Options.IndexReps); assignments are
+	// byte-identical either way.
+	IndexReps        bool
 	Transport        p2p.Transport
 	SerializeCompute bool
 	// SSEEpsilon is the stop threshold on the global SSE change.
@@ -120,8 +124,9 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 			transport: transport, sizer: sizer(corpus.Items),
 			k: opts.K, maxRounds: maxRounds, seed: opts.Seed + int64(i),
 			rule: opts.Rule, workers: opts.Workers, eps: eps, computeToken: computeToken,
-			zi:       core.ResponsibilityPartition(opts.K, m)[i],
-			observer: opts.Observer,
+			indexReps: opts.IndexReps,
+			zi:        core.ResponsibilityPartition(opts.K, m)[i],
+			observer:  opts.Observer,
 		}
 	}
 
@@ -166,9 +171,11 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 		opts.Observer(core.Event{
 			Kind: core.EventDone, Peer: -1, Round: res.Rounds, Phase: core.PhaseDone,
 			SentMsgs: msgs, SentBytes: bytes,
-			PrunedRows:    cx.Counters.PrunedRows.Load(),
-			ScratchReuses: cx.Counters.ScratchReuses.Load(),
-			Elapsed:       wall,
+			PrunedRows:      cx.Counters.PrunedRows.Load(),
+			ScratchReuses:   cx.Counters.ScratchReuses.Load(),
+			IndexCandidates: cx.Counters.IndexCandidates.Load(),
+			IndexSkipped:    cx.Counters.IndexSkipped.Load(),
+			Elapsed:         wall,
 		})
 	}
 	return res, nil
@@ -205,6 +212,8 @@ type peer struct {
 	workers      int
 	eps          float64
 	computeToken chan struct{}
+	indexReps    bool
+	repIndex     *sim.RepIndex
 
 	observer core.Observer
 	t0       time.Time
@@ -225,9 +234,11 @@ func (p *peer) emit(kind core.EventKind, round int, objective float64) {
 	p.observer(core.Event{
 		Kind: kind, Peer: p.id, Round: round, Objective: objective,
 		SentMsgs: sm, SentBytes: sb, RecvMsgs: rm, RecvBytes: rb,
-		PrunedRows:    p.cx.Counters.PrunedRows.Load(),
-		ScratchReuses: p.cx.Counters.ScratchReuses.Load(),
-		Elapsed:       time.Since(p.t0),
+		PrunedRows:      p.cx.Counters.PrunedRows.Load(),
+		ScratchReuses:   p.cx.Counters.ScratchReuses.Load(),
+		IndexCandidates: p.cx.Counters.IndexCandidates.Load(),
+		IndexSkipped:    p.cx.Counters.IndexSkipped.Load(),
+		Elapsed:         time.Since(p.t0),
 	})
 }
 
@@ -305,7 +316,15 @@ func (p *peer) run(ctx context.Context) error {
 		var localReps map[int]core.WeightedWireRep
 		var localSSE float64
 		p.compute(round, func() {
-			p.assign = cluster.RelocateWorkers(p.cx, p.local, p.global, p.workers)
+			var ix *sim.RepIndex
+			if p.indexReps {
+				if p.repIndex == nil {
+					p.repIndex = sim.NewRepIndex()
+				}
+				p.repIndex.Build(p.cx, p.global)
+				ix = p.repIndex
+			}
+			p.assign, _ = cluster.RelocateCtxIndexed(nil, p.cx, p.local, p.global, p.workers, ix)
 			members := make([][]*txn.Transaction, p.k)
 			for i, a := range p.assign {
 				if a >= 0 {

@@ -20,9 +20,22 @@ import (
 // batch run would. The test drives a realistic churn history (interleaved
 // adds, removals, read-only classifies) through maintenance rounds with a
 // hair-trigger drift threshold before comparing.
+// It runs once per representative-index mode: the indexed assignment path
+// must leave the converged state — and hence the equivalence — untouched.
 func TestIncrementalEquivalence(t *testing.T) {
+	for _, mode := range []xmlclust.RepIndexMode{xmlclust.RepIndexOff, xmlclust.RepIndexAuto} {
+		name := "index-off"
+		if mode != xmlclust.RepIndexOff {
+			name = "index-on"
+		}
+		t.Run(name, func(t *testing.T) { testIncrementalEquivalence(t, mode) })
+	}
+}
+
+func testIncrementalEquivalence(t *testing.T, mode xmlclust.RepIndexMode) {
 	cfg := serveConfig()
 	cfg.DriftThreshold = -1 // any drift at all refreshes on the next round
+	cfg.IndexReps = mode
 	s, err := NewService(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -102,9 +115,23 @@ func TestIncrementalEquivalence(t *testing.T) {
 	ref, err := eng.Cluster(ctx, xmlclust.ClusterOptions{
 		K: cfg.K, F: cfg.F, Gamma: cfg.Gamma,
 		Seed: cfg.Seed, Workers: cfg.Workers, MaxRounds: cfg.MaxRounds,
+		IndexReps: mode,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	// With the index on, the service must actually be using it: the stats
+	// surface reports a live index and counter movement.
+	if st := s.Stats(); mode != xmlclust.RepIndexOff {
+		if st.IndexedReps == 0 {
+			t.Error("index on but stats report no indexed representatives")
+		}
+		if st.IndexCandidates+st.IndexSkipped == 0 {
+			t.Error("index on but no index counter movement")
+		}
+	} else if st.IndexEntries != 0 || st.IndexCandidates+st.IndexSkipped != 0 {
+		t.Errorf("index off but stats report index activity: %+v", st)
 	}
 
 	// Assignments must match transaction for transaction.

@@ -70,6 +70,12 @@ type Config struct {
 	// maintenance round refreshes the representatives
 	// (0 = DefaultDriftThreshold; negative = refresh on any drift at all).
 	DriftThreshold float64
+	// IndexReps selects the inverted representative index for every
+	// assignment scan the service runs — refreshes, online adds, classify
+	// probes and maintenance re-relocations (default RepIndexAuto = on).
+	// Each refresh prebuilds the index once against the new representative
+	// set; assignments are byte-identical in every mode.
+	IndexReps xmlclust.RepIndexMode
 	// Events, when non-nil, receives the clustering progress events of every
 	// refresh run (see xmlclust.ClusterOptions.Events).
 	Events func(xmlclust.Event)
@@ -101,12 +107,12 @@ type DocInfo struct {
 
 // Stats is a point-in-time snapshot of the service state.
 type Stats struct {
-	Docs         int `json:"docs"`
-	LiveDocs     int `json:"live_docs"`
-	RemovedDocs  int `json:"removed_docs"`
-	LiveTxns     int `json:"live_txns"`
-	DirtyDocs    int `json:"dirty_docs"`
-	DirtyTxns    int `json:"dirty_txns"`
+	Docs        int `json:"docs"`
+	LiveDocs    int `json:"live_docs"`
+	RemovedDocs int `json:"removed_docs"`
+	LiveTxns    int `json:"live_txns"`
+	DirtyDocs   int `json:"dirty_docs"`
+	DirtyTxns   int `json:"dirty_txns"`
 	// Drift is DirtyTxns / LiveTxns (1 when nothing is live but drift
 	// exists).
 	Drift float64 `json:"drift"`
@@ -123,6 +129,16 @@ type Stats struct {
 	// every request and maintenance round (see xmlclust.Result).
 	PrunedRows    int64 `json:"pruned_rows"`
 	ScratchReuses int64 `json:"scratch_reuses"`
+	// IndexEntries / IndexedReps describe the current prebuilt
+	// representative index (postings keys and covered representatives; both
+	// zero when the index is off or no refresh has run).
+	// IndexCandidates / IndexSkipped total the index counters over every
+	// request and maintenance round: representatives evaluated with the
+	// kernel vs representatives proven unable to win and never touched.
+	IndexEntries    int   `json:"index_entries"`
+	IndexedReps     int   `json:"indexed_reps"`
+	IndexCandidates int64 `json:"index_candidates"`
+	IndexSkipped    int64 `json:"index_skipped"`
 }
 
 // RoundStats reports one maintenance round.
@@ -136,10 +152,12 @@ type RoundStats struct {
 	Drift float64 `json:"drift"`
 	// Refreshed reports that the round rebuilt and re-clustered; in that
 	// case RefreshRounds is the clustering round count of the refresh run.
-	Refreshed     bool  `json:"refreshed"`
-	RefreshRounds int   `json:"refresh_rounds"`
-	PrunedRows    int64 `json:"pruned_rows"`
-	ScratchReuses int64 `json:"scratch_reuses"`
+	Refreshed       bool  `json:"refreshed"`
+	RefreshRounds   int   `json:"refresh_rounds"`
+	PrunedRows      int64 `json:"pruned_rows"`
+	ScratchReuses   int64 `json:"scratch_reuses"`
+	IndexCandidates int64 `json:"index_candidates"`
+	IndexSkipped    int64 `json:"index_skipped"`
 }
 
 // docRecord retains what a refresh needs to rebuild the document exactly:
@@ -169,6 +187,11 @@ type snapshot struct {
 	// corpus.Transactions (live documents only).
 	ranges   map[int][2]int
 	liveTxns int
+	// idx is the prebuilt representative index over reps (nil when disabled
+	// or before the first refresh). Items interned after the build are
+	// handled soundly, so the index stays valid until reps change — i.e.
+	// until the snapshot itself is replaced.
+	idx *xmlclust.RepIndex
 }
 
 // Service is the incremental clustering service. Create with NewService.
@@ -189,6 +212,8 @@ type Service struct {
 	reassigned int
 	pruned     int64
 	reuses     int64
+	idxCand    int64
+	idxSkip    int64
 }
 
 // NewService validates the configuration and returns an empty service
@@ -209,14 +234,17 @@ func (cfg Config) clusterOptions() xmlclust.ClusterOptions {
 	return xmlclust.ClusterOptions{
 		K: cfg.K, F: cfg.F, Gamma: cfg.Gamma,
 		Seed: cfg.Seed, Workers: cfg.Workers, MaxRounds: cfg.MaxRounds,
-		Events: cfg.Events,
+		IndexReps: cfg.IndexReps, Events: cfg.Events,
 	}
 }
 
-func (cfg Config) classifyOptions() xmlclust.ClassifyOptions {
+// classifyOptionsLocked resolves the classify options against the current
+// snapshot's prebuilt representative index; the caller holds s.mu.
+func (s *Service) classifyOptionsLocked() xmlclust.ClassifyOptions {
 	return xmlclust.ClassifyOptions{
-		F: cfg.F, Gamma: cfg.Gamma, Workers: cfg.Workers,
-		MaxTuplesPerTree: cfg.MaxTuplesPerTree,
+		F: s.cfg.F, Gamma: s.cfg.Gamma, Workers: s.cfg.Workers,
+		MaxTuplesPerTree: s.cfg.MaxTuplesPerTree,
+		IndexReps:        s.cfg.IndexReps, Index: s.snap.idx,
 	}
 }
 
@@ -269,7 +297,7 @@ func (s *Service) AddDocument(ctx context.Context, name string, xmlData []byte, 
 	s.dirty[id] = struct{}{}
 	s.dirtyTxns += n
 
-	res, err := sn.eng.ClassifyTransactions(ctx, sn.corpus.Transactions[start:end], sn.reps, s.cfg.classifyOptions())
+	res, err := sn.eng.ClassifyTransactions(ctx, sn.corpus.Transactions[start:end], sn.reps, s.classifyOptionsLocked())
 	if err != nil {
 		// The document is ingested either way; park its transactions in the
 		// trash so the assignment stays aligned with the corpus, and leave
@@ -282,6 +310,8 @@ func (s *Service) AddDocument(ctx context.Context, name string, xmlData []byte, 
 	sn.assign = append(sn.assign, res.Assign...)
 	s.pruned += res.PrunedRows
 	s.reuses += res.ScratchReuses
+	s.idxCand += res.IndexCandidates
+	s.idxSkip += res.IndexSkipped
 	return s.docInfoLocked(id), nil
 }
 
@@ -327,12 +357,14 @@ func (s *Service) Classify(ctx context.Context, xmlData []byte) (*xmlclust.Class
 	sn := s.snap
 	trs := sn.eng.ExtractTransactions(tree, s.cfg.MaxTuplesPerTree)
 	sn.acc.WeighNew()
-	res, err := sn.eng.ClassifyTransactions(ctx, trs, sn.reps, s.cfg.classifyOptions())
+	res, err := sn.eng.ClassifyTransactions(ctx, trs, sn.reps, s.classifyOptionsLocked())
 	if err != nil {
 		return nil, err
 	}
 	s.pruned += res.PrunedRows
 	s.reuses += res.ScratchReuses
+	s.idxCand += res.IndexCandidates
+	s.idxSkip += res.IndexSkipped
 	return res, nil
 }
 
@@ -407,6 +439,8 @@ func (s *Service) Stats() Stats {
 		Drift:     s.driftLocked(),
 		Refreshes: s.refreshes, MaintenanceRounds: s.rounds, Reassigned: s.reassigned,
 		PrunedRows: s.pruned, ScratchReuses: s.reuses,
+		IndexEntries: s.snap.idx.Entries(), IndexedReps: s.snap.idx.Reps(),
+		IndexCandidates: s.idxCand, IndexSkipped: s.idxSkip,
 		ClusterSizes: make([]int, s.cfg.K),
 	}
 	for id, rec := range s.docs {
@@ -472,7 +506,7 @@ func (s *Service) MaintenanceRound(ctx context.Context) (RoundStats, error) {
 			delete(s.dirty, id)
 			continue
 		}
-		res, err := sn.eng.ClassifyTransactions(ctx, sn.corpus.Transactions[r[0]:r[1]], sn.reps, s.cfg.classifyOptions())
+		res, err := sn.eng.ClassifyTransactions(ctx, sn.corpus.Transactions[r[0]:r[1]], sn.reps, s.classifyOptionsLocked())
 		if err != nil {
 			return rs, err
 		}
@@ -485,6 +519,8 @@ func (s *Service) MaintenanceRound(ctx context.Context) (RoundStats, error) {
 		}
 		rs.PrunedRows += res.PrunedRows
 		rs.ScratchReuses += res.ScratchReuses
+		rs.IndexCandidates += res.IndexCandidates
+		rs.IndexSkipped += res.IndexSkipped
 		delete(s.dirty, id)
 	}
 
@@ -508,6 +544,8 @@ func (s *Service) MaintenanceRound(ctx context.Context) (RoundStats, error) {
 	s.reassigned += rs.Reassigned
 	s.pruned += rs.PrunedRows
 	s.reuses += rs.ScratchReuses
+	s.idxCand += rs.IndexCandidates
+	s.idxSkip += rs.IndexSkipped
 	return rs, nil
 }
 
@@ -566,6 +604,19 @@ func (s *Service) refreshLocked(ctx context.Context) (int, error) {
 		assign, reps, rounds = res.Assign, res.Reps, res.Rounds
 		s.pruned += res.PrunedRows
 		s.reuses += res.ScratchReuses
+		s.idxCand += res.IndexCandidates
+		s.idxSkip += res.IndexSkipped
+	}
+
+	// Prebuild the representative index once per refresh: every classify
+	// scan until the next refresh reuses it (items interned online are
+	// handled soundly, so it never goes stale before reps change).
+	var idx *xmlclust.RepIndex
+	if s.cfg.IndexReps != xmlclust.RepIndexOff && len(reps) > 0 {
+		idx, err = eng.BuildRepIndex(reps, s.cfg.F, s.cfg.Gamma)
+		if err != nil {
+			return 0, err
+		}
 	}
 
 	nb := txn.ReopenBuilder(c, live, s.cfg.buildOptions())
@@ -573,6 +624,7 @@ func (s *Service) refreshLocked(ctx context.Context) (int, error) {
 	s.snap = &snapshot{
 		corpus: c, eng: eng, builder: nb, acc: acc,
 		reps: reps, assign: assign, ranges: ranges, liveTxns: len(c.Transactions),
+		idx: idx,
 	}
 	s.dirty = map[int]struct{}{}
 	s.dirtyTxns = 0

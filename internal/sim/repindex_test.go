@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlclust/internal/semantics"
+	"xmlclust/internal/txn"
+	"xmlclust/internal/vector"
+	"xmlclust/internal/xmltree"
+)
+
+var repIndexParamsGrid = []Params{
+	{F: 0.5, Gamma: 0.4},  // tag or term alone qualifies
+	{F: 0.5, Gamma: 0.6},  // AND regime
+	{F: 0.5, Gamma: 0.8},  // high-γ AND regime
+	{F: 1, Gamma: 0.6},    // structure only
+	{F: 0, Gamma: 0.5},    // content only
+	{F: 0.4, Gamma: 0.4},  // f = γ boundary
+	{F: 0.7, Gamma: 0.75}, // tagQ and termQ both false, bothQ true
+	{F: 0.5, Gamma: 1},    // γ = 1 edge
+}
+
+// TestRepIndexSoundness is the core index invariant on randomized corpora
+// across every qualification regime: for each (document, representative)
+// pair with positive Eq. 4 similarity, the representative appears in the
+// document's candidate list and its upper bound dominates the true
+// similarity in IEEE arithmetic (≥, not approximately); and the candidate
+// list is sorted (bound desc, index asc). The corpus includes empty
+// transactions, duplicate representatives, and items whose tag path is
+// empty (the sentinel-tag edge: two empty tag paths score simS = 1).
+func TestRepIndexSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	corpus := randomKernelCorpus(rng, 100, 40)
+	// Items with EMPTY tag paths: interned at the bare answer-marker path,
+	// whose tag path strips to nothing. PathSim(empty, empty) = 1, so these
+	// items structurally match each other exactly.
+	emptyTagPath := corpus.Paths.Intern(xmltree.Path{"S"})
+	var emptyItems []txn.ItemID
+	for i := 0; i < 3; i++ {
+		id := corpus.Items.Intern(emptyTagPath, []string{"e1", "e2", "e3"}[i])
+		corpus.Items.SetVector(id, vector.FromMap(map[int32]float64{9: 1}))
+		emptyItems = append(emptyItems, id)
+	}
+	docBase := len(corpus.Transactions)
+	for i := 0; i < 4; i++ {
+		ids := []txn.ItemID{emptyItems[rng.Intn(len(emptyItems))]}
+		if rng.Intn(2) == 0 && len(corpus.Transactions[0].Items) > 0 {
+			ids = append(ids, corpus.Transactions[0].Items...)
+		}
+		corpus.Transactions = append(corpus.Transactions, txn.NewTransaction(ids, docBase+i, 0, -1))
+	}
+	trs := corpus.Transactions
+
+	for _, p := range repIndexParamsGrid {
+		cx := NewContext(corpus, p)
+		// Random representative sets including nils, empties and duplicates.
+		reps := make([]*txn.Transaction, 12)
+		for j := range reps {
+			switch rng.Intn(6) {
+			case 0:
+				// leave nil
+			case 1:
+				reps[j] = trs[0] // duplicate-prone
+			default:
+				reps[j] = trs[rng.Intn(len(trs))]
+			}
+		}
+		ix := NewRepIndex()
+		ix.Build(cx, reps)
+		if !ix.Enabled() {
+			t.Fatalf("params %+v: index disabled", p)
+		}
+		rq := NewRepQuery()
+		for di, tr := range trs {
+			n := ix.Candidates(tr, rq)
+			inCand := map[int]float64{}
+			prevUB, prevJ := 2.0, -1
+			for c := 0; c < n; c++ {
+				j, ub := rq.Candidate(c)
+				if ub > prevUB || (ub == prevUB && j < prevJ) {
+					t.Fatalf("params %+v doc %d: candidates out of order at %d", p, di, c)
+				}
+				prevUB, prevJ = ub, j
+				inCand[j] = ub
+			}
+			for j, rep := range reps {
+				if rep == nil || rep.Len() == 0 {
+					continue
+				}
+				v := cx.Transactions(tr, rep, nil)
+				ub, ok := inCand[j]
+				if v > 0 && !ok {
+					t.Fatalf("params %+v doc %d: rep %d has sim %v but is not a candidate", p, di, j, v)
+				}
+				if ok && ub < v {
+					t.Fatalf("params %+v doc %d rep %d: upper bound %v below true sim %v", p, di, j, ub, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRepIndexPostBuildInterning pins the staleness contract: tag paths and
+// terms interned AFTER Build (the serve layer's online adds) must not break
+// candidate completeness — unknown tag paths fall back to the all-active
+// bitset and unknown terms contribute nothing, both sound.
+func TestRepIndexPostBuildInterning(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	corpus := randomKernelCorpus(rng, 60, 20)
+	cx := NewContext(corpus, Params{F: 0.5, Gamma: 0.5})
+	reps := []*txn.Transaction{corpus.Transactions[0], corpus.Transactions[1], corpus.Transactions[2]}
+	ix := NewRepIndex()
+	ix.Build(cx, reps)
+
+	// New path sharing tag "a" with the corpus, new never-seen term 777.
+	newPath := corpus.Paths.Intern(xmltree.Path{"root", "a", "new", "S"})
+	id := corpus.Items.Intern(newPath, "fresh")
+	corpus.Items.SetVector(id, vector.FromMap(map[int32]float64{777: 1}))
+	ids := append([]txn.ItemID{id}, corpus.Transactions[3].Items...)
+	doc := txn.NewTransaction(ids, 999, 0, -1)
+
+	rq := NewRepQuery()
+	n := ix.Candidates(doc, rq)
+	inCand := map[int]bool{}
+	for c := 0; c < n; c++ {
+		j, _ := rq.Candidate(c)
+		inCand[j] = true
+	}
+	for j, rep := range reps {
+		if v := cx.Transactions(doc, rep, nil); v > 0 && !inCand[j] {
+			t.Fatalf("rep %d has sim %v to post-build doc but is not a candidate", j, v)
+		}
+	}
+}
+
+// TestRepIndexDisabled pins the self-disabling conditions: γ ≤ 0 (every
+// pair matches, pruning meaningless) and non-exact tag similarity (the
+// shared-channel premise fails for semantic matchers).
+func TestRepIndexDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	corpus := randomKernelCorpus(rng, 30, 10)
+	reps := corpus.Transactions[:3]
+
+	cx := NewContext(corpus, Params{F: 0.5, Gamma: 0})
+	ix := NewRepIndex()
+	ix.Build(cx, reps)
+	if ix.Enabled() {
+		t.Error("index enabled at γ = 0")
+	}
+
+	cx = NewContext(corpus, Params{F: 0.5, Gamma: 0.5})
+	cx.TagSim = semantics.NewLexical()
+	ix.Build(cx, reps)
+	if ix.Enabled() {
+		t.Error("index enabled under a semantic tag matcher")
+	}
+}

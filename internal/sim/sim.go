@@ -79,6 +79,16 @@ type Counters struct {
 	// per-position through the item table — the observable proof that the
 	// contiguous-scan fast path is actually taken (tests assert it).
 	ColumnarResolves atomic.Int64
+	// IndexCandidates counts representatives actually evaluated with the
+	// kernel by index-guided relocation scans; IndexSkipped counts the
+	// representatives those scans proved could not win — either absent from
+	// the candidate list (no qualifying overlap with the document) or cut
+	// off by the sorted upper-bound early exit — and therefore never
+	// touched. Their sum per document equals the active representative
+	// count, so IndexCandidates/documents is the evaluated-reps/doc metric
+	// of the relocate bench.
+	IndexCandidates atomic.Int64
+	IndexSkipped    atomic.Int64
 }
 
 // Context evaluates similarities for one corpus under fixed Params.

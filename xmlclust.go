@@ -255,6 +255,29 @@ const (
 	PKMeans
 )
 
+// RepIndexMode selects whether assignment scans use the inverted
+// representative index (sub-linear candidate generation with exact
+// bound-based pruning). The index never changes a single assignment —
+// candidates are evaluated with the same exact kernel and ties still
+// resolve to the lowest representative index — so the only observable
+// difference is wall time and the IndexSkipped/IndexCandidates counters.
+type RepIndexMode int
+
+const (
+	// RepIndexAuto (the zero value) enables the index; it self-disables
+	// where its premises fail (γ = 0, semantic tag matchers), falling back
+	// to the flat branch-and-bound scan.
+	RepIndexAuto RepIndexMode = iota
+	// RepIndexOn behaves like RepIndexAuto (the index always self-disables
+	// where it would be unsound); it exists to state the intent explicitly.
+	RepIndexOn
+	// RepIndexOff forces the flat scan over all representatives.
+	RepIndexOff
+)
+
+// enabled reports whether the mode asks for the index.
+func (m RepIndexMode) enabled() bool { return m != RepIndexOff }
+
 // ClusterOptions configures a clustering run.
 type ClusterOptions struct {
 	// K is the number of clusters (required).
@@ -278,6 +301,10 @@ type ClusterOptions struct {
 	UnequalSplit bool
 	// Seed makes runs reproducible.
 	Seed int64
+	// IndexReps selects the inverted representative index for the
+	// relocation scans (default RepIndexAuto = on). Assignments are
+	// byte-identical in every mode; see RepIndexMode.
+	IndexReps RepIndexMode
 	// Algorithm selects CXK-means (default) or the PK-means baseline.
 	Algorithm Algorithm
 	// UseTCP runs the peers over loopback TCP instead of in-process
@@ -331,6 +358,14 @@ type Result struct {
 	// the totals across cells are exact.
 	PrunedRows    int64
 	ScratchReuses int64
+	// IndexCandidates and IndexSkipped are the representative-index deltas
+	// of this job: representatives the index-guided relocation actually
+	// evaluated with the kernel versus representatives it proved could not
+	// win and never touched. Both are zero when IndexReps is RepIndexOff or
+	// the index self-disabled. The same concurrency attribution caveat as
+	// PrunedRows applies.
+	IndexCandidates int64
+	IndexSkipped    int64
 }
 
 // Cluster runs one clustering job on a throwaway Engine and blocks until
@@ -384,6 +419,11 @@ type DistributedOptions struct {
 	UnequalSplit bool
 	// Seed makes the run reproducible (and must match across processes).
 	Seed int64
+	// IndexReps selects the inverted representative index for this peer's
+	// relocation scans (default RepIndexAuto = on). Purely local to the
+	// process — it changes no assignment and no wire message, so peers may
+	// mix modes freely.
+	IndexReps RepIndexMode
 	// MaxRounds bounds the collaborative loop (0 = default; negative values
 	// are rejected with an *OptionsError).
 	MaxRounds int
