@@ -20,6 +20,20 @@
 // which every peer ingests through the streaming pipeline; identical input
 // yields identical corpora on every peer, so no separate preprocessing
 // step is required.
+//
+// -checkpoint-dir enables the elastic peer fabric: round-boundary
+// checkpoints (cadence -checkpoint-every) persisted locally and replicated
+// to the coordinator, so the session survives peer loss. A crashed peer's
+// slot is retaken by restarting with -resume (reuses the surviving
+// checkpoint store) or, from a fresh machine, with -join (the coordinator
+// streams the slot state and partition slice). SIGHUP requests a graceful
+// leave: the peer hands its state to the coordinator at the next boundary
+// and exits 0. Recovery is bounded by -recovery-windows extra round
+// timeouts. -debug-addr serves the fabric counters over HTTP (GET
+// /v1/stats), -reps-out writes the final representatives digest (the
+// recovery-equivalence artifact), and -failpoint-round is a chaos drill
+// that SIGKILLs the process at a given round boundary — the CI recovery
+// gate uses it to kill a peer deterministically mid-session.
 package main
 
 import (
@@ -56,6 +70,15 @@ func main() {
 		dialTO  = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peer listeners to come up")
 		quiet   = flag.Bool("q", false, "suppress the per-peer summary on stderr")
 		noIndex = flag.Bool("no-rep-index", false, "disable the inverted representative index for this peer's assignment scans (purely local; output is identical either way)")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "enable the elastic peer fabric: persist round-boundary checkpoints here (crash recovery, -resume/-join, graceful leave on SIGHUP)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint cadence in rounds (0 = every round; requires -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "rejoin a running session from the local -checkpoint-dir after a crash (not valid on peer 0)")
+		join      = flag.Bool("join", false, "take over this peer's slot as a fresh process: the coordinator streams the slot state and partition slice (not valid on peer 0)")
+		recWin    = flag.Int("recovery-windows", 0, "extra round-timeout windows granted to recovery before giving up (0 = default 2)")
+		debugAddr = flag.String("debug-addr", "", "serve fabric counters over HTTP at this address (GET /v1/stats; requires -checkpoint-dir)")
+		failRound = flag.Int("failpoint-round", 0, "chaos drill: SIGKILL this process at the given round boundary (0 = off; requires -checkpoint-dir)")
+		repsOut   = flag.String("reps-out", "", "write the final representatives digest (and per-peer round count) to this file — the recovery-equivalence comparison artifact")
 	)
 	flag.Parse()
 	if *peers == "" || *corpusF == "" {
@@ -86,6 +109,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP requests a graceful leave: the peer hands its state to the
+	// coordinator at the next checkpoint boundary and exits cleanly, so a
+	// replacement can -join the slot without a rollback storm.
+	var leaveCh chan struct{}
+	if *ckptDir != "" {
+		leaveCh = make(chan struct{})
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			<-hup
+			close(leaveCh)
+		}()
+	}
+
 	eng, err := xmlclust.NewEngine(corpus, xmlclust.EngineOptions{})
 	if err != nil {
 		fatal(err)
@@ -100,10 +137,17 @@ func main() {
 		Workers: *workers, UnequalSplit: *unequal,
 		Seed: *seed, MaxRounds: *rounds, IndexReps: indexMode,
 		RoundTimeout: *roundTO, StartupTimeout: *startTO, DialTimeout: *dialTO,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
+		Resume: *resume, Join: *join, RecoveryWindows: *recWin,
+		Leave: leaveCh, DebugAddr: *debugAddr, FailpointRound: *failRound,
 	})
 	if errors.Is(err, xmlclust.ErrCanceled) {
 		fmt.Fprintf(os.Stderr, "cxkpeer %d: interrupted, session aborted at a protocol boundary\n", *id)
 		os.Exit(130)
+	}
+	if errors.Is(err, xmlclust.ErrLeft) {
+		fmt.Fprintf(os.Stderr, "cxkpeer %d: left the session gracefully, state handed to the coordinator\n", *id)
+		return
 	}
 	if err != nil {
 		fatal(err)
@@ -111,6 +155,12 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "cxkpeer %d/%d: %d local transactions, %d rounds, wall %v\n",
 			*id, len(addrs), len(res.LocalAssign), res.Rounds, res.WallTime.Round(time.Millisecond))
+	}
+	if *repsOut != "" {
+		artifact := fmt.Sprintf("peer %d rounds %d reps %016x\n", res.ID, res.Rounds, res.RepsDigest)
+		if err := os.WriteFile(*repsOut, []byte(artifact), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 	if res.Assign != nil { // coordinator: print the corpus-wide assignment
 		for i, a := range res.Assign {

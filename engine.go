@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xmlclust/internal/core"
+	"xmlclust/internal/fabric"
 	"xmlclust/internal/p2p"
 	"xmlclust/internal/pkmeans"
 	"xmlclust/internal/sim"
@@ -136,6 +139,26 @@ func (e *Engine) simContext(p sim.Params) *sim.Context {
 // own error (context.Canceled / context.DeadlineExceeded) stays in the
 // chain, so errors.Is works against either sentinel.
 var ErrCanceled = core.ErrCanceled
+
+// Sentinels of the elastic peer fabric (DistributedOptions.CheckpointDir),
+// matched with errors.Is.
+var (
+	// ErrLeft reports that this peer departed gracefully after a Leave
+	// request: its state was handed to the coordinator and the session
+	// ended on purpose, not by failure.
+	ErrLeft = core.ErrLeft
+	// ErrCoordinatorLost reports that peer 0 became unreachable.
+	// Coordinator death is not recovered from — restart the session.
+	ErrCoordinatorLost = core.ErrCoordinatorLost
+	// ErrRecoveryTimeout reports that a stalled session exhausted its
+	// recovery windows without a replacement peer completing the rollback.
+	ErrRecoveryTimeout = core.ErrRecoveryTimeout
+	// ErrCheckpointMismatch reports a checkpoint (or join) from a different
+	// run configuration: restoring it would diverge silently.
+	ErrCheckpointMismatch = fabric.ErrCheckpointMismatch
+	// ErrNoCheckpoint reports a Resume with no usable local checkpoint.
+	ErrNoCheckpoint = fabric.ErrNoCheckpoint
+)
 
 // OptionsError reports an option field outside its legal range. It is the
 // typed validation failure of every Engine entry point (and of the legacy
@@ -342,6 +365,15 @@ func (e *Engine) ClusterDistributed(ctx context.Context, opts DistributedOptions
 	if opts.ID < 0 || opts.ID >= m {
 		return nil, fmt.Errorf("xmlclust: peer id %d outside [0,%d)", opts.ID, m)
 	}
+	if opts.Resume && opts.Join {
+		return nil, fmt.Errorf("xmlclust: Resume and Join are mutually exclusive")
+	}
+	if opts.CheckpointDir == "" && (opts.Resume || opts.Join || opts.Leave != nil || opts.DebugAddr != "" || opts.FailpointRound > 0) {
+		return nil, fmt.Errorf("xmlclust: Resume/Join/Leave/DebugAddr/FailpointRound need the fabric — set CheckpointDir")
+	}
+	if opts.ID == 0 && (opts.Resume || opts.Join) {
+		return nil, fmt.Errorf("xmlclust: peer 0 cannot resume or join (%w on coordinator death)", ErrCoordinatorLost)
+	}
 	listen := opts.Listen
 	if listen == "" {
 		listen = opts.PeerAddrs[opts.ID]
@@ -372,13 +404,72 @@ func (e *Engine) ClusterDistributed(ctx context.Context, opts DistributedOptions
 	if st == 0 {
 		st = DefaultStartupTimeout
 	}
-	pres, err := core.RunPeer(ctx, cx, e.corpus, core.Options{
+	copts := core.Options{
 		K: opts.K, Params: cx.Params, Peers: m, Partition: part,
 		Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: node,
 		Workers: opts.Workers, RoundTimeout: rt, StartupTimeout: st,
 		IndexReps: opts.IndexReps.enabled(),
 		Observer:  serializedObserver(opts.Events),
-	}, opts.ID)
+	}
+	if opts.CheckpointDir != "" {
+		store, err := fabric.NewStore(opts.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		fab, err := fabric.NewPeer(fabric.Config{
+			ID: opts.ID, Transport: node, Store: store,
+			Corpus: e.corpus, Partition: part,
+			Fingerprint: fabric.ConfigFingerprint(opts.K, m, opts.F, opts.Gamma,
+				opts.Seed, n, core.PartitionFingerprint(part)),
+			Every:           opts.CheckpointEvery,
+			RecoveryWindows: opts.RecoveryWindows,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if opts.Resume {
+			latest, err := store.LatestRound(opts.ID)
+			if err != nil {
+				return nil, err
+			}
+			if latest < 0 {
+				return nil, fmt.Errorf("%w for peer %d in %s (a fresh process joins with Join)",
+					ErrNoCheckpoint, opts.ID, opts.CheckpointDir)
+			}
+		}
+		if opts.Resume || opts.Join {
+			if err := fab.SendJoin(); err != nil {
+				return nil, err
+			}
+			copts.Rejoin = true
+		}
+		if opts.Leave != nil {
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				select {
+				case <-opts.Leave:
+					fab.RequestLeave()
+				case <-done:
+				}
+			}()
+		}
+		if opts.DebugAddr != "" {
+			dln, err := net.Listen("tcp", opts.DebugAddr)
+			if err != nil {
+				return nil, fmt.Errorf("xmlclust: debug listener %s: %w", opts.DebugAddr, err)
+			}
+			srv := &http.Server{Handler: fab.Metrics().Handler()}
+			go srv.Serve(dln)
+			defer srv.Close()
+		}
+		defer func() { fab.Metrics().AddStaleDrops(node.DroppedStale()) }()
+		copts.Hooks = fab
+		if opts.FailpointRound > 0 {
+			copts.Hooks = &failpointHooks{Hooks: fab, round: opts.FailpointRound}
+		}
+	}
+	pres, err := core.RunPeer(ctx, cx, e.corpus, copts, opts.ID)
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +480,40 @@ func (e *Engine) ClusterDistributed(ctx context.Context, opts DistributedOptions
 		Reps:        pres.Reps,
 		Rounds:      pres.Rounds,
 		WallTime:    pres.WallTime,
+		RepsDigest:  core.RepsDigest(e.corpus.Items, pres.Reps),
 	}, nil
+}
+
+// failpointHooks wraps the fabric hooks with the FailpointRound chaos drill:
+// on reaching the configured round boundary the process SIGKILLs itself —
+// before the boundary checkpoint, so recovery must barrier on the previous
+// round exactly as after a genuine mid-round crash.
+type failpointHooks struct {
+	core.Hooks
+	round int
+}
+
+func (f *failpointHooks) RoundBoundary(st *core.SessionState) (*core.SessionState, error) {
+	if st.Round >= f.round {
+		proc, err := os.FindProcess(os.Getpid())
+		if err == nil {
+			err = proc.Kill()
+		}
+		if err != nil {
+			os.Exit(137)
+		}
+		select {} // SIGKILL is in flight; never reach the checkpoint write
+	}
+	return f.Hooks.RoundBoundary(st)
+}
+
+// RepsDigest returns the canonical fingerprint of a representative set over
+// a corpus's item table (FNV-1a over each representative's sorted raw item
+// ids): equal digests mean byte-identical representatives. It makes an
+// in-process Result comparable with DistributedResult.RepsDigest — the
+// recovery-equivalence gate digests the reference run with it.
+func RepsDigest(c *Corpus, reps []*Transaction) uint64 {
+	return core.RepsDigest(c.Items, reps)
 }
 
 // SweepSpec describes a grid of clustering jobs over one corpus — the

@@ -68,6 +68,13 @@ type Options struct {
 	// Peer == -1 after all sessions terminate. Must be safe for concurrent
 	// calls.
 	Observer Observer
+	// Epoch, Initial, Rejoin and Hooks attach the elastic peer fabric to a
+	// RunPeer session (see the matching PeerConfig fields; ignored by the
+	// in-process Run driver, whose peers share one failure domain).
+	Epoch   int
+	Initial *SessionState
+	Rejoin  bool
+	Hooks   Hooks
 }
 
 // DefaultMaxRounds bounds the collaborative loop.

@@ -64,6 +64,9 @@ func RunPeer(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Opti
 	if tp := opts.Transport.Peers(); tp != m {
 		return nil, fmt.Errorf("core: transport has %d peers, options say %d", tp, m)
 	}
+	if id == 0 && (opts.Rejoin || opts.Initial != nil) {
+		return nil, fmt.Errorf("core: the coordinator cannot rejoin or resume (%w on coordinator death)", ErrCoordinatorLost)
+	}
 	sizer := Sizer(corpus.Items)
 
 	if id == 0 {
@@ -100,6 +103,10 @@ func RunPeer(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Opti
 		StartupTimeout: opts.StartupTimeout,
 		Expect:         expectationFrom(cx, corpus, opts),
 		Observer:       opts.Observer,
+		Epoch:          opts.Epoch,
+		Initial:        opts.Initial,
+		Rejoin:         opts.Rejoin,
+		Hooks:          opts.Hooks,
 	})
 
 	t0 := time.Now()
@@ -197,6 +204,12 @@ func collectAssignments(ctx context.Context, opts Options, n int, ownAssign []in
 			return nil, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
 		case <-deadlineC:
 			return nil, fmt.Errorf("%w: collected %d of %d final assignments", ErrRoundDeadline, len(seen), m-1)
+		}
+		if _, ctl := env.Payload.(ControlPayload); ctl {
+			// Late control traffic (e.g. checkpoint replicas from peers
+			// still draining their final round) is irrelevant once the
+			// coordinator's own session has terminated.
+			continue
 		}
 		msg, ok := env.Payload.(AssignMsg)
 		if !ok {

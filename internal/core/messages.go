@@ -7,6 +7,8 @@
 package core
 
 import (
+	"sort"
+
 	"xmlclust/internal/cluster"
 	"xmlclust/internal/p2p"
 	"xmlclust/internal/txn"
@@ -126,6 +128,36 @@ func fromWire(items *txn.ItemTable, w WireTxn) *txn.Transaction {
 		return nil
 	}
 	return cluster.ConflateItems(items, w.Items)
+}
+
+// RepsDigest canonically fingerprints a representative set: FNV-1a over
+// each representative's sorted flattened raw item ids with separators, so
+// two processes (or two runs) with the same corpus produce equal digests
+// exactly when their representatives are identical item sets. This is the
+// cross-process equality check behind the fabric's recovery-equivalence
+// gate — synthetic item ids are process-local, raw constituents are not.
+func RepsDigest(items *txn.ItemTable, reps []*txn.Transaction) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	for _, rep := range reps {
+		mix(^uint64(0)) // representative separator
+		w := toWire(items, rep)
+		ids := append([]txn.ItemID(nil), w.Items...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			mix(uint64(id))
+		}
+	}
+	return h
 }
 
 // WireTxnSize models the semantic wire size of a representative: each item

@@ -31,6 +31,12 @@ const (
 	// PhaseDone is the terminal phase: the session has converged or
 	// exhausted MaxRounds.
 	PhaseDone
+	// PhaseRejoin awaits a recovery state instead of a StartMsg: a peer
+	// launched with PeerConfig.Rejoin parks protocol traffic and waits for
+	// the fabric hooks to deliver an installable SessionState (resume from
+	// a local checkpoint is installed before the loop ever runs; a fresh
+	// joiner waits here for the coordinator's state transfer).
+	PhaseRejoin
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +54,8 @@ func (p Phase) String() string {
 		return "refine-globals"
 	case PhaseDone:
 		return "done"
+	case PhaseRejoin:
+		return "rejoin"
 	default:
 		return fmt.Sprintf("phase(%d)", int(p))
 	}
@@ -79,6 +87,17 @@ var (
 	// with divergent flags (seed, k, f, γ, corpus, partition) would
 	// otherwise compute silently wrong assignments.
 	ErrConfigMismatch = errors.New("core: run configuration mismatch")
+	// ErrLeft reports that the peer left the session on purpose (graceful
+	// leave through the fabric): the session stops without a result and the
+	// caller should not treat it as a failure.
+	ErrLeft = errors.New("core: peer left the session")
+	// ErrCoordinatorLost reports that the recovery coordinator (peer 0)
+	// became unreachable; elastic sessions recover member failures but do
+	// not re-elect a coordinator.
+	ErrCoordinatorLost = errors.New("core: coordinator lost")
+	// ErrRecoveryTimeout reports that a failure was detected but recovery
+	// did not complete within the configured recovery window.
+	ErrRecoveryTimeout = errors.New("core: recovery window exceeded")
 )
 
 // SessionError wraps a session failure with the peer, round and phase it

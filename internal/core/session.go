@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -62,6 +63,25 @@ type PeerConfig struct {
 	// safe for concurrent calls. Enabling it also turns on the per-round
 	// local objective computation reported in RoundEnd events.
 	Observer Observer
+	// Epoch is the membership epoch the session starts in (0 for a fresh
+	// session; a recovered session starts in the epoch of its restored
+	// state). Envelopes stamped with an older epoch are dropped, newer ones
+	// parked until the session catches up.
+	Epoch int
+	// Initial, when non-nil, is a restored SessionState the session
+	// installs instead of running startup: the peer skips the StartMsg wait
+	// and re-enters the round loop at Initial.Round (cxkpeer -resume).
+	Initial *SessionState
+	// Rejoin makes the session await a recovery state transfer (delivered
+	// through Hooks.Control) instead of a StartMsg: the state machine
+	// starts in PhaseRejoin (cxkpeer -join). Mutually exclusive with
+	// Initial.
+	Rejoin bool
+	// Hooks, when non-nil, attaches a fabric layer to the session: round
+	// boundaries (checkpointing), control messages (membership, recovery)
+	// and deadline expiries (failure detection) are routed through it. All
+	// calls happen on the session goroutine.
+	Hooks Hooks
 }
 
 // StartExpectation pins the parameters a peer expects node N0 to announce.
@@ -153,9 +173,24 @@ type SessionResult struct {
 // blocking receives and between relocation passes.
 func (p *Peer) RunSession(ctx context.Context) (*SessionResult, error) {
 	s := newSession(p)
+	if st := p.cfg.Initial; st != nil {
+		if err := s.install(st); err != nil {
+			return nil, &SessionError{Peer: p.cfg.ID, Round: s.round, Phase: s.phase, Err: err}
+		}
+	}
 	for s.phase != PhaseDone {
 		from := s.phase
 		if err := s.step(ctx); err != nil {
+			var rb *rollbackError
+			if errors.As(err, &rb) {
+				// A fabric hook rolled the session back (or delivered the
+				// rejoin state): install it and re-enter the round loop.
+				if ierr := s.install(rb.st); ierr != nil {
+					return nil, &SessionError{Peer: p.cfg.ID, Round: s.round, Phase: s.phase, Err: ierr}
+				}
+				s.emit(EventPhaseChange, s.round, 0)
+				continue
+			}
 			return nil, &SessionError{Peer: p.cfg.ID, Round: s.round, Phase: s.phase, Err: err}
 		}
 		if s.phase != from {
@@ -217,18 +252,35 @@ type session struct {
 	pendGlobal map[int][]GlobalRepsMsg
 	pendLocal  map[int][]LocalRepsMsg
 	pendAssign []AssignMsg
+
+	// epoch is the membership epoch the session currently runs in. FIFO
+	// holds per connection, not across connections, so after a membership
+	// change a peer can receive new-epoch traffic before its own view
+	// update (parked in pendFuture) or stale traffic from the abandoned
+	// epoch (dropped, counted in staleDropped).
+	epoch        int
+	pendFuture   []p2p.Envelope
+	staleDropped int64
 }
 
 func newSession(p *Peer) *session {
-	return &session{
+	s := &session{
 		p:          p,
 		phase:      PhaseStartup,
 		t0:         time.Now(),
 		m:          p.cfg.Transport.Peers(),
+		epoch:      p.cfg.Epoch,
 		seenStates: map[uint64]struct{}{},
 		pendGlobal: map[int][]GlobalRepsMsg{},
 		pendLocal:  map[int][]LocalRepsMsg{},
 	}
+	if p.cfg.Rejoin {
+		s.phase = PhaseRejoin
+	}
+	if es, ok := p.cfg.Transport.(p2p.EpochSetter); ok {
+		es.SetEpoch(p.cfg.ID, s.epoch)
+	}
+	return s
 }
 
 // emit publishes a progress event when an observer is configured.
@@ -273,6 +325,8 @@ func (s *session) step(ctx context.Context) error {
 		return s.exchangeLocals(ctx)
 	case PhaseRefineGlobals:
 		return s.refineGlobals(ctx)
+	case PhaseRejoin:
+		return s.rejoin(ctx)
 	default:
 		return fmt.Errorf("core: step in terminal phase %s", s.phase)
 	}
@@ -338,8 +392,21 @@ awaitStart:
 }
 
 // broadcastGlobals is protocol phase 1: send the global representatives
-// this peer is responsible for, then collect everyone else's.
+// this peer is responsible for, then collect everyone else's. Its entry is
+// the round boundary: the protocol state is quiescent (no message of the
+// round sent yet), so this is where the fabric hook checkpoints — and where
+// a coordinator admits pending joins, which may install a same-round state
+// under a bumped epoch.
 func (s *session) broadcastGlobals(ctx context.Context) error {
+	if h := s.p.cfg.Hooks; h != nil {
+		st, err := h.RoundBoundary(s.capture())
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			return &rollbackError{st: st}
+		}
+	}
 	s.rounds = s.round + 1
 	s.growRound(s.round)
 	s.emit(EventRoundStart, s.round, 0)
@@ -573,34 +640,167 @@ func (s *session) armStartupDeadline() {
 	}
 }
 
-// recvEnvelope blocks for the next envelope, honouring ctx and the armed
-// phase deadline.
+// recvEnvelope blocks for the next protocol envelope of the current epoch,
+// honouring ctx and the armed phase deadline. Control-plane payloads are
+// routed to the fabric hooks from here — any phase, any epoch — and never
+// surface to the protocol state machine; a hook that returns a state makes
+// recvEnvelope fail with the internal rollback signal, unwound by
+// RunSession. Stale-epoch protocol traffic is dropped, future-epoch traffic
+// parked until the session catches up.
 func (s *session) recvEnvelope(ctx context.Context) (p2p.Envelope, error) {
 	ch := s.p.cfg.Transport.Recv(s.p.cfg.ID)
-	var timerC <-chan time.Time
-	if !s.deadline.IsZero() {
-		d := time.Until(s.deadline)
-		if d <= 0 {
-			return p2p.Envelope{}, ErrRoundDeadline
-		}
-		timer := time.NewTimer(d)
-		defer timer.Stop()
-		timerC = timer.C
-	}
 	var ctxDone <-chan struct{}
 	if ctx != nil {
 		ctxDone = ctx.Done()
 	}
-	select {
-	case env, ok := <-ch:
-		if !ok {
-			return p2p.Envelope{}, ErrTransportClosed
+	for {
+		if env, ok := s.takeFuture(); ok {
+			return env, nil
 		}
-		return env, nil
-	case <-ctxDone:
-		return p2p.Envelope{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
-	case <-timerC:
-		return p2p.Envelope{}, ErrRoundDeadline
+		var timer *time.Timer
+		var timerC <-chan time.Time
+		if !s.deadline.IsZero() {
+			d := time.Until(s.deadline)
+			if d <= 0 {
+				if err := s.deadlineExpired(); err != nil {
+					return p2p.Envelope{}, err
+				}
+				continue
+			}
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+		select {
+		case env, ok := <-ch:
+			if timer != nil {
+				timer.Stop()
+			}
+			if !ok {
+				return p2p.Envelope{}, ErrTransportClosed
+			}
+			if _, ctl := env.Payload.(ControlPayload); ctl {
+				if err := s.handleControl(env); err != nil {
+					return p2p.Envelope{}, err
+				}
+				continue
+			}
+			if env.Epoch != p2p.EpochAny {
+				if env.Epoch < s.epoch {
+					s.staleDropped++
+					continue
+				}
+				if env.Epoch > s.epoch {
+					s.pendFuture = append(s.pendFuture, env)
+					continue
+				}
+			}
+			return env, nil
+		case <-ctxDone:
+			if timer != nil {
+				timer.Stop()
+			}
+			return p2p.Envelope{}, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+		case <-timerC:
+			if err := s.deadlineExpired(); err != nil {
+				return p2p.Envelope{}, err
+			}
+		}
+	}
+}
+
+// handleControl routes a control-plane envelope to the fabric hooks. A
+// session without hooks cannot participate in membership changes, so
+// control traffic reaching it is a deployment mismatch and fails loudly.
+func (s *session) handleControl(env p2p.Envelope) error {
+	h := s.p.cfg.Hooks
+	if h == nil {
+		return fmt.Errorf("%w: control message %T on a session without fabric hooks",
+			ErrUnexpectedMessage, env.Payload)
+	}
+	st, err := h.Control(env)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		return &rollbackError{st: st}
+	}
+	return nil
+}
+
+// deadlineExpired consults the fabric hooks when a blocking receive ran out
+// of time. Without hooks the legacy behaviour holds: the session fails with
+// ErrRoundDeadline. With hooks, (nil, nil) grants one more timeout window
+// (the hook does its own accounting — e.g. reporting a suspect to the
+// coordinator and bounding the recovery wait), a state rolls back, an error
+// fails the session.
+func (s *session) deadlineExpired() error {
+	h := s.p.cfg.Hooks
+	if h == nil {
+		return ErrRoundDeadline
+	}
+	st, err := h.Deadline(s.phase, s.round)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		return &rollbackError{st: st}
+	}
+	s.armDeadline()
+	return nil
+}
+
+// takeFuture scans the future-epoch parking lot for envelopes the session
+// has caught up to; entries whose epoch fell behind in the meantime are
+// dropped.
+func (s *session) takeFuture() (p2p.Envelope, bool) {
+	for i := 0; i < len(s.pendFuture); i++ {
+		env := s.pendFuture[i]
+		if env.Epoch < s.epoch {
+			s.pendFuture = append(s.pendFuture[:i], s.pendFuture[i+1:]...)
+			s.staleDropped++
+			i--
+			continue
+		}
+		if env.Epoch == s.epoch {
+			s.pendFuture = append(s.pendFuture[:i], s.pendFuture[i+1:]...)
+			return env, true
+		}
+	}
+	return p2p.Envelope{}, false
+}
+
+// rejoin parks protocol traffic while the fabric negotiates this peer's
+// admission; the session leaves this phase only through a rollback install
+// (the recovery state arrives via Hooks.Control) or a failure. Protocol
+// messages of the admission epoch race ahead of the state transfer on other
+// connections, so they are parked rather than rejected — takeFuture replays
+// them once the state is installed.
+func (s *session) rejoin(ctx context.Context) error {
+	if s.p.cfg.Hooks == nil {
+		return fmt.Errorf("%w: rejoin requires fabric hooks", ErrUnexpectedMessage)
+	}
+	s.armStartupDeadline()
+	for {
+		env, err := s.recvEnvelope(ctx)
+		if err != nil {
+			return err
+		}
+		// Anything surfacing here carries the session's pre-admission epoch:
+		// leftovers of the slot's previous occupant. They predate the view
+		// the joiner will be admitted under, and install drops the buffers —
+		// parking them is bookkeeping, not acceptance. (New-epoch traffic
+		// racing ahead of the state transfer is parked inside recvEnvelope
+		// and replayed by takeFuture after the install.)
+		switch msg := env.Payload.(type) {
+		case GlobalRepsMsg:
+			s.pendGlobal[msg.Round] = append(s.pendGlobal[msg.Round], msg)
+		case LocalRepsMsg:
+			s.pendLocal[msg.Round] = append(s.pendLocal[msg.Round], msg)
+		case AssignMsg, StartMsg:
+			// Superseded by the incoming state transfer.
+		default:
+			return fmt.Errorf("%w: %T while awaiting rejoin state", ErrUnexpectedMessage, env.Payload)
+		}
 	}
 }
 
@@ -633,9 +833,17 @@ func (s *session) compute(round int, fn func()) {
 }
 
 // send delivers a payload and accounts it; transport failures fail the
-// session (a silent drop would leave the receiving peer to starve).
+// session (a silent drop would leave the receiving peer to starve) unless
+// fabric hooks decide the failure is survivable — then the message is
+// dropped unaccounted and the deadline/recovery machinery reconciles.
 func (s *session) send(round, to int, payload any) error {
 	if err := s.p.cfg.Transport.Send(s.p.cfg.ID, to, payload); err != nil {
+		if h := s.p.cfg.Hooks; h != nil {
+			if herr := h.SendFailed(to, round, err); herr != nil {
+				return herr
+			}
+			return nil
+		}
 		return fmt.Errorf("%w: to peer %d: %v", ErrSend, to, err)
 	}
 	s.report.SentMsgsByRound[round]++

@@ -1,0 +1,175 @@
+package fabric
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"xmlclust/internal/core"
+)
+
+// Typed checkpoint failures, matched with errors.Is.
+var (
+	// ErrCheckpointMismatch reports a checkpoint written under a different
+	// run configuration (k, f, γ, seed, corpus, partition or peer count):
+	// restoring it would replay a different protocol and diverge silently.
+	ErrCheckpointMismatch = errors.New("fabric: checkpoint configuration mismatch")
+	// ErrNoCheckpoint reports that no restorable checkpoint exists for the
+	// requested slot (or round).
+	ErrNoCheckpoint = errors.New("fabric: no checkpoint")
+)
+
+// ConfigFingerprint condenses the run parameters a checkpoint depends on
+// into one comparable value (FNV-1a, like core.PartitionFingerprint). Two
+// processes with equal fingerprints replay byte-identically from any common
+// checkpoint; everything else is ErrCheckpointMismatch territory.
+func ConfigFingerprint(k, peers int, f, gamma float64, seed int64, txns int, partitionHash uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(k))
+	mix(uint64(peers))
+	mix(math.Float64bits(f))
+	mix(math.Float64bits(gamma))
+	mix(uint64(seed))
+	mix(uint64(txns))
+	mix(partitionHash)
+	return h
+}
+
+// checkpoint is the on-disk envelope: the session state plus the identity
+// needed to refuse restoring it into the wrong run.
+type checkpoint struct {
+	Fingerprint uint64
+	Slot        int
+	State       core.SessionState
+}
+
+// Store persists round-boundary checkpoints, one gob file per (slot,
+// round), written atomically (temp file + rename) so a crash mid-write
+// never leaves a truncated checkpoint that a restore would trip over.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a checkpoint directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("fabric: checkpoint store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fabric: checkpoint dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) path(slot, round int) string {
+	return filepath.Join(st.dir, fmt.Sprintf("ckpt-%d-r%d.gob", slot, round))
+}
+
+// Save persists a boundary state for the slot under the given
+// configuration fingerprint.
+func (st *Store) Save(slot int, fp uint64, state *core.SessionState) error {
+	tmp, err := os.CreateTemp(st.dir, "ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("fabric: checkpoint temp: %w", err)
+	}
+	cp := checkpoint{Fingerprint: fp, Slot: slot, State: *state}
+	if err := gob.NewEncoder(tmp).Encode(&cp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fabric: checkpoint encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fabric: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(slot, state.Round)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fabric: checkpoint publish: %w", err)
+	}
+	return nil
+}
+
+// Load restores the slot's state at the given round. A checkpoint written
+// under a different configuration fails with ErrCheckpointMismatch; a
+// missing file with ErrNoCheckpoint.
+func (st *Store) Load(slot, round int, fp uint64) (*core.SessionState, error) {
+	f, err := os.Open(st.path(slot, round))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w for slot %d round %d in %s", ErrNoCheckpoint, slot, round, st.dir)
+		}
+		return nil, fmt.Errorf("fabric: checkpoint open: %w", err)
+	}
+	defer f.Close()
+	var cp checkpoint
+	if err := gob.NewDecoder(f).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("fabric: checkpoint decode (slot %d round %d): %w", slot, round, err)
+	}
+	if cp.Fingerprint != fp {
+		return nil, fmt.Errorf("%w: slot %d round %d written under fingerprint %016x, this run is %016x",
+			ErrCheckpointMismatch, slot, round, cp.Fingerprint, fp)
+	}
+	if cp.Slot != slot {
+		return nil, fmt.Errorf("%w: file for slot %d carries slot %d", ErrCheckpointMismatch, slot, cp.Slot)
+	}
+	return &cp.State, nil
+}
+
+// Rounds lists the slot's checkpointed rounds in ascending order.
+func (st *Store) Rounds(slot int) ([]int, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: checkpoint scan: %w", err)
+	}
+	var rounds []int
+	for _, e := range entries {
+		var s, r int
+		if n, _ := fmt.Sscanf(e.Name(), "ckpt-%d-r%d.gob", &s, &r); n == 2 && s == slot {
+			rounds = append(rounds, r)
+		}
+	}
+	sort.Ints(rounds)
+	return rounds, nil
+}
+
+// LatestRound returns the slot's newest checkpointed round, or -1 when the
+// store holds none.
+func (st *Store) LatestRound(slot int) (int, error) {
+	rounds, err := st.Rounds(slot)
+	if err != nil {
+		return -1, err
+	}
+	if len(rounds) == 0 {
+		return -1, nil
+	}
+	return rounds[len(rounds)-1], nil
+}
+
+// Latest restores the slot's newest checkpoint.
+func (st *Store) Latest(slot int, fp uint64) (*core.SessionState, error) {
+	round, err := st.LatestRound(slot)
+	if err != nil {
+		return nil, err
+	}
+	if round < 0 {
+		return nil, fmt.Errorf("%w for slot %d in %s", ErrNoCheckpoint, slot, st.dir)
+	}
+	return st.Load(slot, round, fp)
+}

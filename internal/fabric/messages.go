@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"xmlclust/internal/core"
+	"xmlclust/internal/p2p"
+	"xmlclust/internal/txn"
+)
+
+// Control-plane messages of the elastic fabric. All of them implement
+// core.ControlPayload, so sessions route them to the fabric hooks from any
+// phase; they travel epoch-less (p2p.EpochAny) because control traffic is
+// what moves peers BETWEEN membership epochs — a node-level epoch filter
+// must never drop the very message that would advance a straggler.
+
+// JoinMsg asks the coordinator to admit the sender into the session: a
+// replacement for a crashed peer (-resume, HasStore true — the local
+// checkpoint store survived), or a fresh process taking over a slot
+// (-join, HasStore false — the coordinator streams the state over).
+type JoinMsg struct {
+	// Slot is the peer id the sender wants to occupy.
+	Slot int
+	// HasStore reports whether the sender can restore rounds ≤ Latest from
+	// its local checkpoint store.
+	HasStore bool
+	// Latest is the newest locally restorable round (-1 when none).
+	Latest int
+	// Fingerprint is the sender's run-configuration fingerprint; it must
+	// match the coordinator's or the join is rejected.
+	Fingerprint uint64
+}
+
+// CheckpointMsg replicates a member's round-boundary state to the
+// coordinator, so a crashed member's slot can be handed to a fresh process
+// that never saw the member's disk.
+type CheckpointMsg struct {
+	Slot        int
+	Fingerprint uint64
+	State       core.SessionState
+}
+
+// SuspectMsg reports a stalled receive: a member that exhausted one round
+// timeout tells the coordinator something is wrong (and, by getting an
+// error back from the transport, learns whether the coordinator itself is
+// the casualty).
+type SuspectMsg struct {
+	From  int
+	Round int
+	Phase int
+}
+
+// LeaveMsg announces a graceful departure at a round boundary: the sender
+// hands its partition back by attaching its final boundary state, which the
+// coordinator holds as the slot's checkpoint until a replacement joins.
+type LeaveMsg struct {
+	Slot        int
+	Fingerprint uint64
+	State       core.SessionState
+}
+
+// ResumeMsg is the coordinator's rollback barrier: every surviving member
+// restores its own checkpoint at Round from local storage and re-enters the
+// round loop under Epoch.
+type ResumeMsg struct {
+	Epoch int
+	Round int
+	// Joined lists the slots being taken over by new processes in this
+	// epoch. Survivors must drop any cached transport connection to those
+	// slots: the connection leads to the dead predecessor, and TCP loses
+	// the first frame written to a dead socket silently.
+	Joined []int
+}
+
+// SliceMsg is the coordinator's state transfer to a storeless joiner: the
+// slot's replicated session state at the rollback round plus the columnar
+// blocks of the slot's partition slice (PR 7 format-2 layout) for
+// verification against the joiner's locally loaded corpus.
+type SliceMsg struct {
+	Slot        int
+	Epoch       int
+	Round       int
+	Fingerprint uint64
+	State       core.SessionState
+	Slice       txn.ColumnarSlice
+}
+
+// SessionControl marks the fabric messages as session-control payloads.
+func (JoinMsg) SessionControl()       {}
+func (CheckpointMsg) SessionControl() {}
+func (SuspectMsg) SessionControl()    {}
+func (LeaveMsg) SessionControl()      {}
+func (ResumeMsg) SessionControl()     {}
+func (SliceMsg) SessionControl()      {}
+
+func init() {
+	p2p.RegisterWireType(JoinMsg{})
+	p2p.RegisterWireType(CheckpointMsg{})
+	p2p.RegisterWireType(SuspectMsg{})
+	p2p.RegisterWireType(LeaveMsg{})
+	p2p.RegisterWireType(ResumeMsg{})
+	p2p.RegisterWireType(SliceMsg{})
+}
+
+// epochStamper is the transport capability of stamping an explicit epoch on
+// one send; p2p.Node and TCPTransport implement it.
+type epochStamper interface {
+	SendStamped(from, to, epoch int, payload any) error
+}
+
+// connResetter is the transport capability of dropping a cached outgoing
+// connection (p2p.Node). The fabric resets the connection to a slot whenever
+// it learns a new process occupies it; transports without connection caching
+// (ChanTransport) have nothing to reset.
+type connResetter interface {
+	ResetConn(to int)
+}
+
+// resetConn drops the transport's cached connection to a peer, if the
+// transport caches connections at all.
+func resetConn(tr p2p.Transport, to int) {
+	if cr, ok := tr.(connResetter); ok {
+		cr.ResetConn(to)
+	}
+}
+
+// sendCtl delivers a control message epoch-less when the transport can
+// stamp (so node-level filters pass it through regardless of view), and
+// plainly otherwise (sessions route control payloads before any epoch
+// check, so in-process transports need no stamping).
+func sendCtl(tr p2p.Transport, from, to int, payload any) error {
+	if es, ok := tr.(epochStamper); ok {
+		return es.SendStamped(from, to, p2p.EpochAny, payload)
+	}
+	return tr.Send(from, to, payload)
+}

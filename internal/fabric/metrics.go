@@ -1,0 +1,82 @@
+package fabric
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the fabric's per-peer observability surface: monotonic counters
+// updated lock-free from the session goroutine, read from an optional debug
+// HTTP listener (cxkpeer -debug-addr) mirroring cxkserve's /v1/stats.
+type Metrics struct {
+	rounds      atomic.Int64
+	ckptWritten atomic.Int64
+	ckptLoaded  atomic.Int64
+	rebalanced  atomic.Int64 // bytes of partition slices sent or received
+	epoch       atomic.Int64
+	staleDrops  atomic.Int64
+	suspects    atomic.Int64
+	lastBeat    atomic.Int64 // unix nanos of the last round boundary
+}
+
+// MetricsSnapshot is the JSON shape served at GET /v1/stats.
+type MetricsSnapshot struct {
+	Rounds              int64   `json:"rounds"`
+	CheckpointsWritten  int64   `json:"checkpoints_written"`
+	CheckpointsRestored int64   `json:"checkpoints_restored"`
+	BytesRebalanced     int64   `json:"bytes_rebalanced"`
+	Epoch               int64   `json:"epoch"`
+	StaleFramesDropped  int64   `json:"stale_frames_dropped"`
+	SuspectsRaised      int64   `json:"suspects_raised"`
+	LastBeatAgeSeconds  float64 `json:"last_beat_age_seconds"`
+}
+
+func (m *Metrics) beat() { m.lastBeat.Store(time.Now().UnixNano()) }
+
+// AddStaleDrops folds node-level stale-frame drops into the snapshot (the
+// p2p layer counts them; the fabric only reports them).
+func (m *Metrics) AddStaleDrops(n int64) { m.staleDrops.Add(n) }
+
+// atomicFlag is a set/clear/test bool shared between the session goroutine
+// and the process's control surface (signal handlers, join bootstrap).
+type atomicFlag struct{ v atomic.Bool }
+
+func (f *atomicFlag) set()        { f.v.Store(true) }
+func (f *atomicFlag) clear()      { f.v.Store(false) }
+func (f *atomicFlag) isSet() bool { return f.v.Load() }
+
+// Snapshot captures the counters at one instant.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Rounds:              m.rounds.Load(),
+		CheckpointsWritten:  m.ckptWritten.Load(),
+		CheckpointsRestored: m.ckptLoaded.Load(),
+		BytesRebalanced:     m.rebalanced.Load(),
+		Epoch:               m.epoch.Load(),
+		StaleFramesDropped:  m.staleDrops.Load(),
+		SuspectsRaised:      m.suspects.Load(),
+		LastBeatAgeSeconds:  -1,
+	}
+	if beat := m.lastBeat.Load(); beat != 0 {
+		s.LastBeatAgeSeconds = time.Since(time.Unix(0, beat)).Seconds()
+	}
+	return s
+}
+
+// Handler serves the counters:
+//
+//	GET /v1/stats → MetricsSnapshot
+//	GET /healthz  → 200 "ok"
+func (m *Metrics) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m.Snapshot())
+	})
+	return mux
+}

@@ -1,0 +1,58 @@
+package fabric
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMetricsHandler(t *testing.T) {
+	m := &Metrics{}
+	m.rounds.Add(5)
+	m.ckptWritten.Add(3)
+	m.ckptLoaded.Add(1)
+	m.rebalanced.Add(4096)
+	m.epoch.Store(2)
+	m.AddStaleDrops(7)
+	m.beat()
+
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %s", resp.Status)
+	}
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Rounds != 5 || snap.CheckpointsWritten != 3 || snap.CheckpointsRestored != 1 ||
+		snap.BytesRebalanced != 4096 || snap.Epoch != 2 || snap.StaleFramesDropped != 7 {
+		t.Fatalf("snapshot diverges: %+v", snap)
+	}
+	if snap.LastBeatAgeSeconds < 0 {
+		t.Fatalf("beat not recorded: %+v", snap)
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %s", hz.Status)
+	}
+}
+
+func TestMetricsNeverBeatenAge(t *testing.T) {
+	m := &Metrics{}
+	if age := m.Snapshot().LastBeatAgeSeconds; age != -1 {
+		t.Fatalf("fresh metrics report age %v, want -1", age)
+	}
+}

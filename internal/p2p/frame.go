@@ -14,11 +14,23 @@ import (
 // is carried in-band and the receive side stamps Envelope.Bytes with the
 // exact wire size (header + body) — identical to the sender's count by
 // construction, with no re-encoding.
+//
+// Epoch stamps the sender's membership epoch on the frame (see
+// Node.SetEpoch); EpochAny marks epoch-less control traffic. The receive
+// side drops frames whose epoch predates its own — a restarted peer on a
+// reused address must never deliver (or buffer forever) traffic from the
+// session view it crashed out of.
 type wireFrame struct {
 	From    int
 	To      int
+	Epoch   int
 	Payload any
 }
+
+// EpochAny is the epoch value of epoch-less frames: membership control
+// traffic (join requests, suspicion reports) that must cross epoch
+// boundaries is stamped with it and always delivered.
+const EpochAny = -1
 
 // hello is the handshake payload a dialing Node sends first on every new
 // connection, identifying the dialing peer. It is never delivered to the

@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"errors"
 	"net"
 	"runtime"
 	"strings"
@@ -335,6 +336,92 @@ func TestFrameRoundtrip(t *testing.T) {
 // (wedged process) must fail the sender's Send once the socket buffers
 // fill, instead of blocking it forever — the session's receive deadline
 // cannot fire while a send is stuck in the kernel.
+// restartPeer closes a node and starts a replacement on the same address,
+// as a crashed-and-replaced peer process would.
+func restartPeer(t *testing.T, old *Node, addrs []string) *Node {
+	t.Helper()
+	old.Close()
+	var ln net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		ln, err = net.Listen("tcp", addrs[old.ID()])
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addrs[old.ID()], err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fresh := NewNode(old.ID(), ln, addrs, NodeOptions{DialTimeout: 5 * time.Second})
+	t.Cleanup(func() { fresh.Close() })
+	return fresh
+}
+
+func TestNodeResetConnReachesRestartedPeer(t *testing.T) {
+	defer checkGoroutines(t)()
+	nodes := newNodes(t, 2)
+	addrs := []string{nodes[0].Addr(), nodes[1].Addr()}
+
+	if err := nodes[0].Send(0, 1, testMsg{Body: "warm"}); err != nil {
+		t.Fatal(err)
+	}
+	<-nodes[1].Recv(1) // outgoing connection 0→1 is now cached
+
+	fresh := restartPeer(t, nodes[1], addrs)
+	// Without the reset, the cached connection leads to the dead process and
+	// TCP swallows the first frame written to it without an error.
+	nodes[0].ResetConn(1)
+	if err := nodes[0].Send(0, 1, testMsg{Body: "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-fresh.Recv(1):
+		if m, ok := env.Payload.(testMsg); !ok || m.Body != "fresh" {
+			t.Errorf("payload = %+v", env.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame after ResetConn never reached the restarted peer")
+	}
+	nodes[0].Close()
+	fresh.Close()
+}
+
+func TestNodeSendRedialsDeadConnection(t *testing.T) {
+	defer checkGoroutines(t)()
+	nodes := newNodes(t, 2)
+	addrs := []string{nodes[0].Addr(), nodes[1].Addr()}
+
+	if err := nodes[0].Send(0, 1, testMsg{Body: "warm"}); err != nil {
+		t.Fatal(err)
+	}
+	<-nodes[1].Recv(1)
+
+	fresh := restartPeer(t, nodes[1], addrs)
+	// No ResetConn: the first write after the peer died may vanish silently,
+	// but the write after the RST fails, which must evict the dead connection
+	// and redial — so a short burst of sends reaches the replacement without
+	// any out-of-band signal.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("sends never recovered onto a fresh connection")
+		}
+		nodes[0].Send(0, 1, testMsg{Body: "ping"}) // pre-fix this fails forever
+		select {
+		case env := <-fresh.Recv(1):
+			if m, ok := env.Payload.(testMsg); !ok || m.Body != "ping" {
+				t.Fatalf("payload = %+v", env.Payload)
+			}
+			nodes[0].Close()
+			fresh.Close()
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
 func TestNodeWriteTimeout(t *testing.T) {
 	defer checkGoroutines(t)()
 	// A dummy peer 1 that accepts and then ignores the connection.
@@ -391,4 +478,115 @@ func TestNodeWriteTimeout(t *testing.T) {
 		}
 	}
 	n0.Close()
+}
+
+// TestDialBackoff pins the exponential-backoff schedule: doubling from the
+// base, capped at max, with full jitter in [d/2, d).
+func TestDialBackoff(t *testing.T) {
+	base, max := 50*time.Millisecond, 400*time.Millisecond
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		for trial := 0; trial < 32; trial++ {
+			d := dialBackoff(base, max, attempt)
+			if d < w/2 || d > w {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, w/2, w)
+			}
+		}
+	}
+}
+
+// TestDialErrorAttempts asserts a failed dial surfaces as a typed DialError
+// carrying the attempt count — recovery logic distinguishes "never
+// reachable" (many attempts) from "flapped" through it.
+func TestDialErrorAttempts(t *testing.T) {
+	defer checkGoroutines(t)()
+	// Reserve an address nobody listens on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	self, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := NewNode(0, self, []string{self.Addr().String(), dead}, NodeOptions{
+		DialTimeout:   300 * time.Millisecond,
+		RetryInterval: 20 * time.Millisecond,
+		RetryMax:      50 * time.Millisecond,
+	})
+	defer n.Close()
+
+	err = n.Send(0, 1, testMsg{From: 0, Body: "nobody home"})
+	if err == nil {
+		t.Fatal("send to a dead address succeeded")
+	}
+	var de *DialError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T is not a *DialError: %v", err, err)
+	}
+	if de.Attempts < 2 {
+		t.Errorf("expected several dial attempts within the window, got %d", de.Attempts)
+	}
+	if de.Peer != 1 || de.Node != 0 {
+		t.Errorf("DialError identity = %+v", de)
+	}
+	if !strings.Contains(err.Error(), "attempts") {
+		t.Errorf("attempt count missing from error text: %v", err)
+	}
+}
+
+// TestNodeDropsStaleEpochFrames is the regression test for the reused-
+// address staleness bug: frames stamped with an epoch older than the
+// receiving node's current view must be dropped at the read loop (counted,
+// not buffered), while current- and future-epoch frames and epoch-less
+// control frames (EpochAny) pass.
+func TestNodeDropsStaleEpochFrames(t *testing.T) {
+	defer checkGoroutines(t)()
+	nodes := newNodes(t, 2)
+	nodes[1].SetEpoch(1, 2) // node 1 has advanced to epoch 2
+
+	// Stale: node 0 still at epoch 1 — its frame must be dropped.
+	nodes[0].SetEpoch(0, 1)
+	if err := nodes[0].Send(0, 1, testMsg{From: 0, Body: "stale"}); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch-less control traffic crosses epochs.
+	if err := nodes[0].SendStamped(0, 1, EpochAny, testMsg{From: 0, Body: "control"}); err != nil {
+		t.Fatal(err)
+	}
+	// Current epoch passes.
+	nodes[0].SetEpoch(0, 2)
+	if err := nodes[0].Send(0, 1, testMsg{From: 0, Body: "current"}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	for len(got) < 2 {
+		select {
+		case env := <-nodes[1].Recv(1):
+			got = append(got, env.Payload.(testMsg).Body)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivered %v, waiting for 2 frames", got)
+		}
+	}
+	if got[0] != "control" || got[1] != "current" {
+		t.Errorf("delivered %v, want [control current]", got)
+	}
+	select {
+	case env := <-nodes[1].Recv(1):
+		t.Fatalf("stale frame delivered: %+v", env)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if n := nodes[1].DroppedStale(); n != 1 {
+		t.Errorf("DroppedStale = %d, want 1", n)
+	}
+	for _, n := range nodes {
+		n.Close()
+	}
 }

@@ -45,8 +45,24 @@ func (t *TCPTransport) Send(from, to int, payload any) error {
 	return t.nodes[from].Send(from, to, payload)
 }
 
+// SendStamped sends with an explicit epoch stamp (EpochAny for control
+// traffic that must cross membership views) through the sending peer's Node.
+func (t *TCPTransport) SendStamped(from, to, epoch int, payload any) error {
+	if from < 0 || from >= len(t.nodes) {
+		return fmt.Errorf("p2p: unknown sender %d", from)
+	}
+	return t.nodes[from].SendStamped(from, to, epoch, payload)
+}
+
 // Recv implements Transport.
 func (t *TCPTransport) Recv(self int) <-chan Envelope { return t.nodes[self].Recv(self) }
+
+// SetEpoch implements EpochSetter by routing to the peer's Node.
+func (t *TCPTransport) SetEpoch(self, epoch int) {
+	if self >= 0 && self < len(t.nodes) {
+		t.nodes[self].SetEpoch(self, epoch)
+	}
+}
 
 // Peers implements Transport.
 func (t *TCPTransport) Peers() int { return len(t.nodes) }

@@ -33,6 +33,7 @@ import (
 type Envelope struct {
 	From    int
 	To      int
+	Epoch   int   // sender's membership epoch at send time (EpochAny = epoch-less)
 	Bytes   int64 // wire size (modeled or actual, per transport)
 	Payload any
 }
@@ -40,6 +41,17 @@ type Envelope struct {
 // Sizer models the wire size of a payload (used by ChanTransport, and by
 // algorithms that want transport-independent accounting).
 type Sizer func(payload any) int64
+
+// EpochSetter is implemented by transports that stamp outgoing envelopes
+// with the sending peer's membership epoch. The elastic session runtime
+// bumps the epoch on every membership change so stragglers from an old view
+// are rejected deterministically; transports without epochs keep stamping 0
+// and sessions simply never see a stale frame.
+type EpochSetter interface {
+	// SetEpoch sets the epoch stamped on peer self's outgoing envelopes
+	// (and, where the transport filters, the minimum epoch it delivers).
+	SetEpoch(self, epoch int)
+}
 
 // Transport moves envelopes between peers. Implementations must be safe
 // for concurrent Send from multiple goroutines; Recv(i) must be consumed by
@@ -65,6 +77,7 @@ type Stats struct {
 // ChanTransport is the in-process channel transport.
 type ChanTransport struct {
 	inboxes []chan Envelope
+	epochs  []atomic.Int64
 	sizer   Sizer
 	stats   Stats
 	closed  atomic.Bool
@@ -77,7 +90,11 @@ const DefaultInboxDepth = 1024
 // NewChanTransport creates a transport for m peers. sizer may be nil, in
 // which case payload sizes are recorded as 0.
 func NewChanTransport(m int, sizer Sizer) *ChanTransport {
-	t := &ChanTransport{inboxes: make([]chan Envelope, m), sizer: sizer}
+	t := &ChanTransport{
+		inboxes: make([]chan Envelope, m),
+		epochs:  make([]atomic.Int64, m),
+		sizer:   sizer,
+	}
 	for i := range t.inboxes {
 		t.inboxes[i] = make(chan Envelope, DefaultInboxDepth)
 	}
@@ -96,10 +113,24 @@ func (t *ChanTransport) Send(from, to int, payload any) error {
 	if t.sizer != nil {
 		n = t.sizer(payload)
 	}
+	var epoch int
+	if from >= 0 && from < len(t.epochs) {
+		epoch = int(t.epochs[from].Load())
+	}
 	t.stats.Messages.Add(1)
 	t.stats.Bytes.Add(n)
-	t.inboxes[to] <- Envelope{From: from, To: to, Bytes: n, Payload: payload}
+	t.inboxes[to] <- Envelope{From: from, To: to, Epoch: epoch, Bytes: n, Payload: payload}
 	return nil
+}
+
+// SetEpoch implements EpochSetter: envelopes sent by peer self are stamped
+// with the given epoch from now on. Delivery-side filtering is left to the
+// session layer (in-process runs share one address space, so the reused-
+// address staleness the Node filter guards against cannot occur here).
+func (t *ChanTransport) SetEpoch(self, epoch int) {
+	if self >= 0 && self < len(t.epochs) {
+		t.epochs[self].Store(int64(epoch))
+	}
 }
 
 // Recv implements Transport.

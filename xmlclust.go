@@ -440,6 +440,52 @@ type DistributedOptions struct {
 	// Events, when non-nil, receives this peer's progress events (see
 	// ClusterOptions.Events; distributed runs emit only peer-level events).
 	Events func(Event)
+
+	// CheckpointDir enables the elastic peer fabric: at every
+	// CheckpointEvery-th round boundary the peer persists its session state
+	// here (and replicates it to the coordinator), so a crashed peer can be
+	// replaced mid-session — the coordinator rolls every survivor back to
+	// the last common checkpoint and the cluster replays to an outcome
+	// byte-identical to an uninterrupted run. Empty disables the fabric
+	// (the pre-fabric behavior: any peer failure fails the session).
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in rounds (0 = every round).
+	CheckpointEvery int
+	// Resume restarts this peer from its own CheckpointDir after a crash:
+	// the peer announces itself to the coordinator and restores the
+	// rollback barrier round from local storage. The local store must hold
+	// at least one checkpoint of this exact run (ErrCheckpointMismatch /
+	// ErrNoCheckpoint otherwise). Mutually exclusive with Join; invalid on
+	// peer 0 (coordinator death is not recoverable).
+	Resume bool
+	// Join lets a fresh process (no usable checkpoint store) take over this
+	// peer's slot: the coordinator streams the slot's replicated state plus
+	// its partition slice, which is verified against the locally loaded
+	// corpus before the session resumes. Mutually exclusive with Resume.
+	Join bool
+	// RecoveryWindows is how many extra round-timeout windows a stalled
+	// peer grants recovery before failing with ErrRecoveryTimeout
+	// (0 = default 2: recovery must complete within 2× RoundTimeout).
+	RecoveryWindows int
+	// Leave, when non-nil, requests a graceful departure: after it is
+	// closed (or receives), the peer hands its state to the coordinator at
+	// the next checkpoint boundary and the call returns ErrLeft. Requires
+	// the fabric (CheckpointDir).
+	Leave <-chan struct{}
+	// DebugAddr, when non-empty, serves the fabric counters over HTTP for
+	// the session's lifetime (GET /v1/stats, mirroring cxkserve): rounds,
+	// checkpoints written/restored, bytes rebalanced, current epoch,
+	// last-heartbeat age. Requires the fabric (CheckpointDir).
+	DebugAddr string
+	// FailpointRound is a chaos-engineering failpoint for recovery drills:
+	// when > 0, the process kills itself (SIGKILL, uncatchable — exactly
+	// like an external kill) on reaching this round boundary, before the
+	// boundary checkpoint is written. Wall-clock kill schedules race the
+	// session (rounds complete in milliseconds); the failpoint makes "die
+	// mid-session at round N" deterministic, so the recovery-equivalence
+	// e2e can gate on it in CI. Requires the fabric (CheckpointDir); zero
+	// in production.
+	FailpointRound int
 }
 
 // DistributedResult is the outcome of one peer process.
@@ -457,6 +503,11 @@ type DistributedResult struct {
 	Rounds int
 	// WallTime is the end-to-end duration of this process's session.
 	WallTime time.Duration
+	// RepsDigest is a canonical fingerprint of Reps (FNV-1a over sorted
+	// flattened raw item ids): equal digests across runs or processes of
+	// the same corpus mean identical final representatives. The recovery
+	// equivalence gate compares exactly this.
+	RepsDigest uint64
 }
 
 // ClusterDistributed runs ONE peer of a multi-process CXK-means cluster on

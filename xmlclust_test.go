@@ -2,6 +2,7 @@ package xmlclust
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -121,6 +122,12 @@ func TestClusterDistributed(t *testing.T) {
 			t.Fatalf("assignment %d differs: distributed %d vs in-process %d", i, results[0].Assign[i], a)
 		}
 	}
+	refDigest := RepsDigest(corpus, want.Reps)
+	for i := 0; i < 3; i++ {
+		if results[i].RepsDigest != refDigest {
+			t.Errorf("peer %d reps digest %016x, in-process run %016x", i, results[i].RepsDigest, refDigest)
+		}
+	}
 	for i := 1; i < 3; i++ {
 		if results[i].Assign != nil {
 			t.Errorf("peer %d reports a corpus-wide assignment", i)
@@ -128,6 +135,53 @@ func TestClusterDistributed(t *testing.T) {
 		if len(results[i].LocalAssign) == 0 {
 			t.Errorf("peer %d reports no local assignment", i)
 		}
+	}
+}
+
+// TestDistributedFabricValidation covers the option cross-checks of the
+// elastic fabric surface: fabric features without a checkpoint dir, the
+// Resume/Join exclusivity, the coordinator restriction, and a Resume against
+// an empty store.
+func TestDistributedFabricValidation(t *testing.T) {
+	corpus := sampleCorpus(t)
+	addrs := []string{"127.0.0.1:9", "127.0.0.1:9"} // never dialed: validation fails first
+	base := DistributedOptions{K: 2, F: 0.5, Gamma: 0.6, PeerAddrs: addrs, Seed: 4}
+
+	bad := []struct {
+		name   string
+		mutate func(*DistributedOptions)
+	}{
+		{"resume+join", func(o *DistributedOptions) { o.CheckpointDir = t.TempDir(); o.ID = 1; o.Resume = true; o.Join = true }},
+		{"resume without fabric", func(o *DistributedOptions) { o.ID = 1; o.Resume = true }},
+		{"join without fabric", func(o *DistributedOptions) { o.ID = 1; o.Join = true }},
+		{"leave without fabric", func(o *DistributedOptions) { o.ID = 1; o.Leave = make(chan struct{}) }},
+		{"debug addr without fabric", func(o *DistributedOptions) { o.ID = 1; o.DebugAddr = "127.0.0.1:0" }},
+		{"failpoint without fabric", func(o *DistributedOptions) { o.ID = 1; o.FailpointRound = 1 }},
+	}
+	for _, tc := range bad {
+		opts := base
+		tc.mutate(&opts)
+		if _, err := ClusterDistributed(corpus, opts); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	opts := base
+	opts.CheckpointDir = t.TempDir()
+	opts.Resume = true
+	if _, err := ClusterDistributed(corpus, opts); !errors.Is(err, ErrCoordinatorLost) {
+		t.Errorf("coordinator resume: want ErrCoordinatorLost, got %v", err)
+	}
+
+	// A member resuming from an empty store must fail before touching the
+	// network beyond its own listener.
+	opts = base
+	opts.ID = 1
+	opts.Listen = "127.0.0.1:0"
+	opts.CheckpointDir = t.TempDir()
+	opts.Resume = true
+	if _, err := ClusterDistributed(corpus, opts); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("resume from empty store: want ErrNoCheckpoint, got %v", err)
 	}
 }
 
