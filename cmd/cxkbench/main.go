@@ -18,6 +18,11 @@
 // numbers (ns/op, allocs/op, speedup-vs-seed, clustering F-measure) as a
 // machine-readable JSON artifact and gating on a minimum speedup — the CI
 // bench-regression smoke and the input of the bench trajectory.
+//
+// The rounds experiment benchmarks the cross-round delta engine (memoized
+// representatives, anchored relocation, digest-marker exchange) against
+// full per-round recomputation, gates on byte-identical output plus the
+// final round's document-skip fraction, and writes BENCH_rounds.json.
 package main
 
 import (
@@ -35,14 +40,23 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | sweep | kernel | relocate | all")
+		exp     = flag.String("exp", "all", "experiment: fig7 | fig8 | table1 | table2 | gamma | rules | cache | workers | semantics | cost | sweep | kernel | relocate | rounds | all")
 		ds      = flag.String("dataset", "", "restrict to one corpus (fig7/fig8/gamma/workers/sweep/kernel)")
 		scaleFl = flag.String("scale", "quick", "profile: quick | paper")
 		workers = flag.Int("workers", 1, "intra-peer worker goroutines, also used as ingest workers for corpus preparation (0 = one per CPU); results are identical for any value")
-		jsonFl  = flag.String("json", "", "write the kernel/relocate experiment's results as JSON to this path (e.g. BENCH_kernel.json)")
-		minSpd  = flag.Float64("min-speedup", 0, "kernel/relocate experiment: exit non-zero if the gated speedup (vs seed / at k=256) falls below this bar (0 = no gate)")
+		jsonFl  = flag.String("json", "", "write the kernel/relocate/rounds experiment's results as JSON to this path (e.g. BENCH_kernel.json)")
+		minSpd  = flag.Float64("min-speedup", 0, "kernel/relocate/rounds experiment: exit non-zero if the gated speedup (vs seed / at k=256 / vs full rounds) falls below this bar (0 = no gate)")
 	)
 	flag.Parse()
+	if *jsonFl != "" {
+		// Fail on an unwritable artifact path before burning benchmark time,
+		// not after: CI jobs that upload the JSON want the error up front.
+		f, err := os.OpenFile(*jsonFl, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			check(fmt.Errorf("cannot write -json artifact: %w", err))
+		}
+		f.Close()
+	}
 
 	scale := experiments.QuickScale()
 	if *scaleFl == "paper" {
@@ -168,6 +182,14 @@ func main() {
 			d = canonical(*ds)
 		}
 		check(runRelocate(d, scale, *workers, *jsonFl, *minSpd))
+		fmt.Println()
+	}
+	if want("rounds") {
+		d := "DBLP"
+		if *ds != "" {
+			d = canonical(*ds)
+		}
+		check(runRounds(d, scale, *workers, *jsonFl, *minSpd))
 		fmt.Println()
 	}
 }

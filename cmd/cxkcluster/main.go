@@ -44,6 +44,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-transaction assignments")
 		progress = flag.Bool("progress", false, "stream per-round progress events to stderr")
 		noIndex  = flag.Bool("no-rep-index", false, "disable the inverted representative index and scan all representatives per assignment (output is identical either way)")
+		noDelta  = flag.Bool("no-delta-rounds", false, "disable the cross-round delta engine and recompute every round from scratch (output is identical either way)")
 		saveTo   = flag.String("save", "", "write the preprocessed corpus to this file after building")
 		loadFm   = flag.String("load", "", "load a preprocessed corpus instead of parsing XML")
 	)
@@ -138,10 +139,14 @@ func main() {
 	if *noIndex {
 		indexMode = xmlclust.RepIndexOff
 	}
+	deltaMode := xmlclust.DeltaRoundsAuto
+	if *noDelta {
+		deltaMode = xmlclust.DeltaRoundsOff
+	}
 	res, err := eng.Cluster(ctx, xmlclust.ClusterOptions{
 		K: *k, F: *f, Gamma: *gamma, Peers: *peers, Workers: *workers,
 		Seed: *seed, UseTCP: *tcp, UnequalSplit: *unequal,
-		IndexReps: indexMode, Events: events,
+		IndexReps: indexMode, DeltaRounds: deltaMode, Events: events,
 	})
 	if errors.Is(err, xmlclust.ErrCanceled) {
 		fmt.Fprintln(os.Stderr, "cxkcluster: interrupted, run aborted at a round boundary")
@@ -192,11 +197,11 @@ func main() {
 
 // progressPrinter renders the engine's event stream as one stderr line per
 // completed peer round plus start/termination markers. Events arrive
-// serialized, so no extra locking is needed. The index counters on events
-// are run-wide running totals; the printer differences consecutive events
-// to report the representatives evaluated vs skipped since the last line.
+// serialized, so no extra locking is needed. The index and delta counters on
+// events are run-wide running totals; the printer differences consecutive
+// events to report the work done (and skipped) since the last line.
 func progressPrinter() func(xmlclust.Event) {
-	var lastCand, lastSkip int64
+	var lastCand, lastSkip, lastReused, lastDocSkip int64
 	return func(ev xmlclust.Event) {
 		switch ev.Kind {
 		case xmlclust.EventRoundStart:
@@ -210,11 +215,16 @@ func progressPrinter() func(xmlclust.Event) {
 				line += fmt.Sprintf(", reps evaluated %d / skipped %d", dc, ds)
 				lastCand, lastSkip = ev.IndexCandidates, ev.IndexSkipped
 			}
+			if dr, dd := ev.RepsReused-lastReused, ev.DocsSkipped-lastDocSkip; dr+dd > 0 {
+				line += fmt.Sprintf(", delta: %d reps reused / %d docs skipped", dr, dd)
+				lastReused, lastDocSkip = ev.RepsReused, ev.DocsSkipped
+			}
 			fmt.Fprintf(os.Stderr, "%s, %v elapsed\n", line, ev.Elapsed.Round(time.Millisecond))
 		case xmlclust.EventDone:
 			if ev.Peer == -1 {
-				fmt.Fprintf(os.Stderr, "done: %d rounds in %v (kernel: %d matrix rows pruned, %d warm-scratch reuses; index: %d reps evaluated, %d skipped)\n",
-					ev.Round, ev.Elapsed.Round(time.Millisecond), ev.PrunedRows, ev.ScratchReuses, ev.IndexCandidates, ev.IndexSkipped)
+				fmt.Fprintf(os.Stderr, "done: %d rounds in %v (kernel: %d matrix rows pruned, %d warm-scratch reuses; index: %d reps evaluated, %d skipped; delta: %d reps reused, %d docs skipped, %d B saved)\n",
+					ev.Round, ev.Elapsed.Round(time.Millisecond), ev.PrunedRows, ev.ScratchReuses,
+					ev.IndexCandidates, ev.IndexSkipped, ev.RepsReused, ev.DocsSkipped, ev.DeltaRepBytes)
 			}
 		}
 	}

@@ -7,9 +7,12 @@
 //	cxkpeer -id 0 -peers host0:9000,host1:9000,host2:9000 -corpus corpus.gob -k 8
 //
 // Every process must be started with the same -peers table, -corpus data
-// and clustering flags (-k -f -gamma -seed -maxrounds -unequal): the data
-// partition and per-peer seeds are derived deterministically from them, so
-// the process cluster reproduces the in-process engine byte-identically.
+// and clustering flags (-k -f -gamma -seed -maxrounds -unequal
+// -no-delta-rounds): the data partition and per-peer seeds are derived
+// deterministically from them, so the process cluster reproduces the
+// in-process engine byte-identically. -no-delta-rounds in particular
+// changes the wire protocol, so a deployment that disagrees on it fails
+// fast at startup instead of producing a divergent run.
 //
 // Peer 0 is the coordinator: it plays node N0 (startup broadcast), collects
 // every peer's final assignment and prints the corpus-wide result to stdout
@@ -70,6 +73,7 @@ func main() {
 		dialTO  = flag.Duration("dial-timeout", 30*time.Second, "how long to wait for peer listeners to come up")
 		quiet   = flag.Bool("q", false, "suppress the per-peer summary on stderr")
 		noIndex = flag.Bool("no-rep-index", false, "disable the inverted representative index for this peer's assignment scans (purely local; output is identical either way)")
+		noDelta = flag.Bool("no-delta-rounds", false, "disable the cross-round delta engine, including the delta representative exchange (must match across ALL peers; output is identical either way)")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "enable the elastic peer fabric: persist round-boundary checkpoints here (crash recovery, -resume/-join, graceful leave on SIGHUP)")
 		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint cadence in rounds (0 = every round; requires -checkpoint-dir)")
@@ -77,6 +81,7 @@ func main() {
 		join      = flag.Bool("join", false, "take over this peer's slot as a fresh process: the coordinator streams the slot state and partition slice (not valid on peer 0)")
 		recWin    = flag.Int("recovery-windows", 0, "extra round-timeout windows granted to recovery before giving up (0 = default 2)")
 		debugAddr = flag.String("debug-addr", "", "serve fabric counters over HTTP at this address (GET /v1/stats; requires -checkpoint-dir)")
+		dbgPprof  = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on -debug-addr")
 		failRound = flag.Int("failpoint-round", 0, "chaos drill: SIGKILL this process at the given round boundary (0 = off; requires -checkpoint-dir)")
 		repsOut   = flag.String("reps-out", "", "write the final representatives digest (and per-peer round count) to this file — the recovery-equivalence comparison artifact")
 	)
@@ -131,15 +136,20 @@ func main() {
 	if *noIndex {
 		indexMode = xmlclust.RepIndexOff
 	}
+	deltaMode := xmlclust.DeltaRoundsAuto
+	if *noDelta {
+		deltaMode = xmlclust.DeltaRoundsOff
+	}
 	res, err := eng.ClusterDistributed(ctx, xmlclust.DistributedOptions{
 		K: *k, F: *f, Gamma: *gamma,
 		ID: *id, PeerAddrs: addrs, Listen: *listen,
 		Workers: *workers, UnequalSplit: *unequal,
-		Seed: *seed, MaxRounds: *rounds, IndexReps: indexMode,
+		Seed: *seed, MaxRounds: *rounds, IndexReps: indexMode, DeltaRounds: deltaMode,
 		RoundTimeout: *roundTO, StartupTimeout: *startTO, DialTimeout: *dialTO,
 		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
 		Resume: *resume, Join: *join, RecoveryWindows: *recWin,
 		Leave: leaveCh, DebugAddr: *debugAddr, FailpointRound: *failRound,
+		DebugPprof: *dbgPprof,
 	})
 	if errors.Is(err, xmlclust.ErrCanceled) {
 		fmt.Fprintf(os.Stderr, "cxkpeer %d: interrupted, session aborted at a protocol boundary\n", *id)

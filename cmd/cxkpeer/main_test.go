@@ -181,8 +181,12 @@ func TestE2EThreeProcessEquivalence(t *testing.T) {
 	bin := buildPeerBinary(t, dir)
 	corpus, corpusPath := e2eCorpus(t, dir)
 	const k, seed = 2, 4
+	// The reference runs with the delta engine OFF while the spawned peer
+	// processes run the default (delta ON, digest-marker exchange over real
+	// TCP) — the equality below gates cross-mode byte-identity end to end.
 	want, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
 		K: k, F: 0.5, Gamma: 0.7, Peers: 3, Seed: seed,
+		DeltaRounds: xmlclust.DeltaRoundsOff,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -221,8 +225,11 @@ func TestE2ERawDirectoryCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	const k, seed = 2, 4
+	// Delta OFF reference vs default-ON peer processes, as in
+	// TestE2EThreeProcessEquivalence.
 	want, err := xmlclust.Cluster(corpus, xmlclust.ClusterOptions{
 		K: k, F: 0.5, Gamma: 0.7, Peers: 3, Seed: seed,
+		DeltaRounds: xmlclust.DeltaRoundsOff,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof" // handlers exposed only behind -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -62,6 +63,8 @@ func main() {
 		every   = flag.Duration("maintenance", serve.DefaultMaintenanceInterval, "maintenance loop interval")
 		quiet   = flag.Bool("q", false, "suppress the progress log on stderr")
 		noIndex = flag.Bool("no-rep-index", false, "disable the inverted representative index for all assignment scans (output is identical either way)")
+		noDelta = flag.Bool("no-delta-rounds", false, "disable the cross-round delta engine in refresh runs (output is identical either way)")
+		pprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the service listener")
 	)
 	flag.Parse()
 
@@ -74,10 +77,14 @@ func main() {
 	if *noIndex {
 		indexMode = xmlclust.RepIndexOff
 	}
+	deltaMode := xmlclust.DeltaRoundsAuto
+	if *noDelta {
+		deltaMode = xmlclust.DeltaRoundsOff
+	}
 	svc, err := serve.NewService(serve.Config{
 		K: *k, F: *f, Gamma: *gamma, Seed: *seed,
 		Workers: *workers, MaxRounds: *rounds, MaxTuplesPerTree: *maxTup,
-		DriftThreshold: *drift, IndexReps: indexMode,
+		DriftThreshold: *drift, IndexReps: indexMode, DeltaRounds: deltaMode,
 		OnMaintenance: func(rs serve.RoundStats, err error) {
 			switch {
 			case err != nil:
@@ -114,7 +121,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	server := &http.Server{Addr: *listen, Handler: serve.NewHandler(svc)}
+	handler := http.Handler(serve.NewHandler(svc))
+	if *pprof {
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux; mount that mux under /debug/pprof/ so a live round
+		// loop can be CPU/heap-profiled, and keep the service API at /.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	server := &http.Server{Addr: *listen, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
 	go svc.Run(ctx, *every)

@@ -7,6 +7,10 @@ import (
 	"math"
 	"net"
 	"net/http"
+	// Registers the profiling handlers on http.DefaultServeMux; they are
+	// only reachable when DistributedOptions.DebugPprof mounts that mux on
+	// the debug listener (cxkpeer -pprof).
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"sync"
@@ -302,6 +306,9 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, err
 	reusesBefore := cx.Counters.ScratchReuses.Load()
 	candBefore := cx.Counters.IndexCandidates.Load()
 	skipBefore := cx.Counters.IndexSkipped.Load()
+	reusedBefore := cx.Counters.RepsReused.Load()
+	docSkipBefore := cx.Counters.DocsSkipped.Load()
+	deltaBytesBefore := cx.Counters.DeltaRepBytes.Load()
 
 	var res *core.Result
 	var err error
@@ -311,15 +318,17 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, err
 			K: opts.K, Params: cx.Params, Peers: peers, Partition: part,
 			Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: transport,
 			Workers: opts.Workers, IndexReps: opts.IndexReps.enabled(),
-			Observer: observer,
+			DeltaRounds: opts.DeltaRounds.enabled(),
+			Observer:    observer,
 		})
 	default:
 		res, err = core.Run(ctx, cx, e.corpus, core.Options{
 			K: opts.K, Params: cx.Params, Peers: peers, Partition: part,
 			Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: transport,
 			Workers: opts.Workers, RoundTimeout: opts.RoundTimeout,
-			IndexReps: opts.IndexReps.enabled(),
-			Observer:  observer,
+			IndexReps:   opts.IndexReps.enabled(),
+			DeltaRounds: opts.DeltaRounds.enabled(),
+			Observer:    observer,
 		})
 	}
 	if err != nil {
@@ -339,6 +348,9 @@ func (e *Engine) Cluster(ctx context.Context, opts ClusterOptions) (*Result, err
 		ScratchReuses:   cx.Counters.ScratchReuses.Load() - reusesBefore,
 		IndexCandidates: cx.Counters.IndexCandidates.Load() - candBefore,
 		IndexSkipped:    cx.Counters.IndexSkipped.Load() - skipBefore,
+		RepsReused:      cx.Counters.RepsReused.Load() - reusedBefore,
+		DocsSkipped:     cx.Counters.DocsSkipped.Load() - docSkipBefore,
+		DeltaRepBytes:   cx.Counters.DeltaRepBytes.Load() - deltaBytesBefore,
 	}, nil
 }
 
@@ -408,8 +420,9 @@ func (e *Engine) ClusterDistributed(ctx context.Context, opts DistributedOptions
 		K: opts.K, Params: cx.Params, Peers: m, Partition: part,
 		Seed: opts.Seed, MaxRounds: opts.MaxRounds, Transport: node,
 		Workers: opts.Workers, RoundTimeout: rt, StartupTimeout: st,
-		IndexReps: opts.IndexReps.enabled(),
-		Observer:  serializedObserver(opts.Events),
+		IndexReps:   opts.IndexReps.enabled(),
+		DeltaRounds: opts.DeltaRounds.enabled(),
+		Observer:    serializedObserver(opts.Events),
 	}
 	if opts.CheckpointDir != "" {
 		store, err := fabric.NewStore(opts.CheckpointDir)
@@ -459,7 +472,14 @@ func (e *Engine) ClusterDistributed(ctx context.Context, opts DistributedOptions
 			if err != nil {
 				return nil, fmt.Errorf("xmlclust: debug listener %s: %w", opts.DebugAddr, err)
 			}
-			srv := &http.Server{Handler: fab.Metrics().Handler()}
+			handler := http.Handler(fab.Metrics().Handler())
+			if opts.DebugPprof {
+				dm := http.NewServeMux()
+				dm.Handle("/debug/pprof/", http.DefaultServeMux)
+				dm.Handle("/", handler)
+				handler = dm
+			}
+			srv := &http.Server{Handler: handler}
 			go srv.Serve(dln)
 			defer srv.Close()
 		}

@@ -38,6 +38,11 @@ type Config struct {
 	// either way (the index's bounds are exact); the index only changes how
 	// many representatives each document touches.
 	IndexReps bool
+	// DeltaRounds carries a DeltaState across iterations: unchanged cluster
+	// memberships reuse their memoized representatives and unchanged
+	// representatives skip re-evaluation in relocation (see delta.go).
+	// Output is byte-identical either way.
+	DeltaRounds bool
 }
 
 // DefaultMaxIter is the safety bound on clustering iterations.
@@ -292,18 +297,31 @@ func XKMeans(cx *sim.Context, s []*txn.Transaction, cfg Config) *Clustering {
 	if cfg.IndexReps {
 		ix = sim.NewRepIndex()
 	}
+	var ds *DeltaState
+	if cfg.DeltaRounds {
+		ds = NewDeltaState(k)
+	}
 	for iter := 0; iter < maxIter; iter++ {
 		cl.Iterations = iter + 1
 		if ix != nil {
 			ix.Build(cx, reps)
 		}
-		assign, _ := RelocateCtxIndexed(nil, cx, s, reps, cfg.Workers, ix)
+		var assign []int
+		if ds != nil {
+			assign, _ = ds.Relocate(nil, cx, s, reps, cfg.Workers, ix)
+		} else {
+			assign, _ = RelocateCtxIndexed(nil, cx, s, reps, cfg.Workers, ix)
+		}
 		newReps := make([]*txn.Transaction, k)
 		members := make([][]*txn.Transaction, k)
 		for i, a := range assign {
 			if a >= 0 {
 				members[a] = append(members[a], s[i])
 			}
+		}
+		var memberFps []uint64
+		if ds != nil {
+			memberFps = ds.MemberFingerprints(assign)
 		}
 		// The cluster loop stays ordered: representative generation interns
 		// synthetic items, and interning order must not depend on the
@@ -313,6 +331,10 @@ func XKMeans(cx *sim.Context, s []*txn.Transaction, cfg Config) *Clustering {
 		for j := 0; j < k; j++ {
 			if len(members[j]) == 0 {
 				newReps[j] = reps[j] // keep the old representative alive
+				continue
+			}
+			if ds != nil {
+				newReps[j] = ds.LocalRep(repCfg, j, memberFps[j], members[j])
 				continue
 			}
 			newReps[j] = ComputeLocalRepresentative(repCfg, members[j])

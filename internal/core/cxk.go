@@ -45,6 +45,15 @@ type Options struct {
 	// (falling back to the flat scan) at γ ≤ 0 or under semantic tag
 	// matchers.
 	IndexReps bool
+	// DeltaRounds carries a cross-round delta cache through every peer
+	// session (cluster.DeltaState): unchanged cluster memberships reuse their
+	// memoized representatives, documents whose cached best cluster provably
+	// still wins skip relocation outright, and unchanged local
+	// representatives travel as digest markers instead of full wire
+	// transactions. Assignments and representatives are byte-identical either
+	// way; every peer of a session must agree (enforced via
+	// StartMsg.DeltaExchange).
+	DeltaRounds bool
 	// Transport overrides the default in-process channel transport.
 	Transport p2p.Transport
 	// SerializeCompute runs peers' compute sections under a mutual
@@ -285,6 +294,7 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 			Rule:           opts.Rule,
 			Workers:        opts.Workers,
 			IndexReps:      opts.IndexReps,
+			DeltaRounds:    opts.DeltaRounds,
 			RoundTimeout:   opts.RoundTimeout,
 			StartupTimeout: opts.StartupTimeout,
 			Expect:         expectationFrom(cx, corpus, opts),
@@ -339,6 +349,9 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 			ScratchReuses:   cx.Counters.ScratchReuses.Load(),
 			IndexCandidates: cx.Counters.IndexCandidates.Load(),
 			IndexSkipped:    cx.Counters.IndexSkipped.Load(),
+			RepsReused:      cx.Counters.RepsReused.Load(),
+			DocsSkipped:     cx.Counters.DocsSkipped.Load(),
+			DeltaRepBytes:   cx.Counters.DeltaRepBytes.Load(),
 			Elapsed:         wall,
 		})
 	}
@@ -355,6 +368,7 @@ func startMsgFrom(cx *sim.Context, corpus *txn.Corpus, opts Options) StartMsg {
 		Seed:          opts.Seed,
 		Txns:          len(corpus.Transactions),
 		PartitionHash: PartitionFingerprint(opts.Partition),
+		DeltaExchange: opts.DeltaRounds,
 	}
 }
 
@@ -368,5 +382,6 @@ func expectationFrom(cx *sim.Context, corpus *txn.Corpus, opts Options) *StartEx
 		Seed:          opts.Seed,
 		Txns:          len(corpus.Transactions),
 		PartitionHash: PartitionFingerprint(opts.Partition),
+		DeltaExchange: opts.DeltaRounds,
 	}
 }

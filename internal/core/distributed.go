@@ -99,6 +99,7 @@ func RunPeer(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Opti
 		Rule:           opts.Rule,
 		Workers:        opts.Workers,
 		IndexReps:      opts.IndexReps,
+		DeltaRounds:    opts.DeltaRounds,
 		RoundTimeout:   opts.RoundTimeout,
 		StartupTimeout: opts.StartupTimeout,
 		Expect:         expectationFrom(cx, corpus, opts),

@@ -76,6 +76,13 @@ type Event struct {
 	// not win and never touched. Same run-wide running-total semantics as
 	// PrunedRows.
 	IndexCandidates, IndexSkipped int64
+	// RepsReused, DocsSkipped and DeltaRepBytes snapshot the delta-round
+	// counters (DeltaRounds runs): representatives returned verbatim from the
+	// cross-round memo, documents whose relocation was decided from the cached
+	// anchor with zero kernel evaluations, and wire bytes saved by shipping
+	// unchanged-representative digest markers instead of full representatives.
+	// Same run-wide running-total semantics as PrunedRows.
+	RepsReused, DocsSkipped, DeltaRepBytes int64
 	// Elapsed is the time since the session (or run, for Peer == -1)
 	// started.
 	Elapsed time.Duration

@@ -4,6 +4,24 @@
 // representatives, computes local cluster representatives, and exchanges
 // them so that the peers responsible for each cluster can compute the
 // global representatives collaboratively.
+//
+// # Delta rounds
+//
+// With Options.DeltaRounds on (the default at the public surface), each
+// peer threads a cluster.DeltaState through its rounds — memoized
+// representatives and anchored relocation — and the representative
+// exchange ships an unchanged representative as a digest marker
+// (UnchangedRep) instead of the full wire transaction. The mode is part
+// of the wire protocol: the coordinator announces it in
+// StartMsg.DeltaExchange, a peer configured differently rejects the
+// session with ErrConfigMismatch, and a marker the receiver never cached
+// (or whose digest disagrees) fails the round with ErrUnexpectedMessage.
+// Output is byte-identical with the engine on or off. The delta caches
+// assume round-over-round continuity, so any break invalidates them:
+// installing a checkpoint or a coordinator state stream (restore, crash
+// recovery, -join), a membership epoch change, and worker errors all
+// drop the DeltaState and both exchange caches, and the next round
+// recomputes and re-ships everything from scratch.
 package core
 
 import (
@@ -44,6 +62,13 @@ type StartMsg struct {
 	Txns int
 	// PartitionHash fingerprints the data partition S_1..S_m.
 	PartitionHash uint64
+	// DeltaExchange announces that the run ships unchanged local
+	// representatives as digest markers (LocalRepsMsg.Unchanged) instead of
+	// full wire transactions. Every peer must agree: a receiver that does
+	// not maintain the delta cache cannot resolve a marker, so a mixed
+	// deployment fails fast at startup (StartExpectation.check) instead of
+	// mid-round.
+	DeltaExchange bool
 }
 
 // GlobalRepsMsg broadcasts the global representatives a peer is responsible
@@ -74,12 +99,58 @@ type LocalRepsMsg struct {
 	Flag  Flag
 	// Reps maps cluster id → (representative, |C_i_j|).
 	Reps map[int]WeightedWireRep
+	// Unchanged maps cluster id → digest marker for representatives that
+	// are byte-identical to the last full representative this sender shipped
+	// to this destination for that cluster (delta exchange; only sent when
+	// the StartMsg negotiated DeltaExchange). The weight still travels —
+	// cluster sizes can change while the representative does not.
+	Unchanged map[int]UnchangedRep
 }
 
 // WeightedWireRep pairs a representative with its local cluster size.
 type WeightedWireRep struct {
 	Rep    WireTxn
 	Weight int
+}
+
+// UnchangedRep is the delta-exchange marker for one unchanged local
+// representative: the digest of the full wire form the receiver already
+// holds, plus the (possibly updated) cluster size.
+type UnchangedRep struct {
+	Weight int
+	Digest uint64
+}
+
+// unchangedRepSize models the wire cost of one delta-exchange marker:
+// cluster id + weight + digest.
+const unchangedRepSize = 24
+
+// cachedWireRep is a receiver-side delta-exchange cache entry: the last full
+// wire representative a sender shipped for one cluster, with its digest so
+// incoming UnchangedRep markers can be verified before reuse.
+type cachedWireRep struct {
+	wire WireTxn
+	dig  uint64
+}
+
+// wireDigest fingerprints a wire transaction's flattened raw item ids
+// (FNV-1a, order-sensitive — toWire is deterministic, so equal
+// representatives produce equal sequences). Senders key their sent-rep
+// caches on it and receivers verify delta-exchange markers against it.
+func wireDigest(w WireTxn) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range w.Items {
+		v := uint64(id)
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
 }
 
 // AssignMsg reports a peer's final local assignment to the coordinator
@@ -193,6 +264,7 @@ func Sizer(items *txn.ItemTable) p2p.Sizer {
 			for _, r := range m.Reps {
 				n += 16 + WireTxnSize(items, r.Rep)
 			}
+			n += int64(unchangedRepSize * len(m.Unchanged))
 			return n
 		case AssignMsg:
 			return int64(24 + 8*len(m.Assign))

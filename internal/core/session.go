@@ -41,6 +41,12 @@ type PeerConfig struct {
 	// once per round (see Options.IndexReps); assignments are byte-identical
 	// either way.
 	IndexReps bool
+	// DeltaRounds carries a cluster.DeltaState across rounds (representative
+	// memoization + delta relocation) and ships unchanged local
+	// representatives as digest markers instead of full wire transactions
+	// (see Options.DeltaRounds). Output is byte-identical either way; every
+	// peer of a session must agree (StartMsg.DeltaExchange).
+	DeltaRounds bool
 	// RoundTimeout bounds every blocking receive of the session; a peer
 	// that waits longer fails with ErrRoundDeadline instead of hanging on
 	// a dead neighbour. 0 disables the deadline (trusted in-process runs).
@@ -92,6 +98,7 @@ type StartExpectation struct {
 	Seed          int64
 	Txns          int
 	PartitionHash uint64
+	DeltaExchange bool
 }
 
 // check compares the expectation against a received StartMsg.
@@ -108,6 +115,9 @@ func (e *StartExpectation) check(msg StartMsg) error {
 		return fmt.Errorf("%w: corpus has %d transactions here, %d at N0", ErrConfigMismatch, e.Txns, msg.Txns)
 	case msg.PartitionHash != e.PartitionHash:
 		return fmt.Errorf("%w: data partition diverges from N0's (check the split flags)", ErrConfigMismatch)
+	case msg.DeltaExchange != e.DeltaExchange:
+		return fmt.Errorf("%w: delta exchange %v here, %v at N0 (check -no-delta-rounds)",
+			ErrConfigMismatch, e.DeltaExchange, msg.DeltaExchange)
 	}
 	return nil
 }
@@ -243,6 +253,18 @@ type session struct {
 	changed     bool
 	bySender    []map[int]WeightedWireRep
 	anyContinue bool
+	// delta carries the cross-round memoization caches (DeltaRounds):
+	// per-cluster representative memos, per-document relocation anchors and
+	// the global-representative merge memo. Reset on every rollback/install.
+	delta *cluster.DeltaState
+	// sentRepDigest / recvRepCache implement the delta representative
+	// exchange: per (destination, cluster) the digest of the last full
+	// representative shipped, and per (sender, cluster) the last full wire
+	// representative received with its digest — so an UnchangedRep marker
+	// resolves to the cached wire form. Both reset on install: the first
+	// post-rollback round ships full representatives again on every link.
+	sentRepDigest []map[int]uint64
+	recvRepCache  []map[int]cachedWireRep
 
 	// Message reordering buffers: peers may run ahead by one phase, so
 	// envelopes are buffered per (round, type). A peer that terminates
@@ -299,6 +321,9 @@ func (s *session) emit(kind EventKind, round int, objective float64) {
 		ScratchReuses:   ctrs.ScratchReuses.Load(),
 		IndexCandidates: ctrs.IndexCandidates.Load(),
 		IndexSkipped:    ctrs.IndexSkipped.Load(),
+		RepsReused:      ctrs.RepsReused.Load(),
+		DocsSkipped:     ctrs.DocsSkipped.Load(),
+		DeltaRepBytes:   ctrs.DeltaRepBytes.Load(),
 		Elapsed:         time.Since(s.t0),
 	})
 }
@@ -447,6 +472,9 @@ func (s *session) broadcastGlobals(ctx context.Context) error {
 func (s *session) relocate(ctx context.Context) error {
 	cfg := &s.p.cfg
 	repCfg := cluster.RepConfig{Ctx: cfg.Ctx, Rule: cfg.Rule, Workers: cfg.Workers}
+	if cfg.DeltaRounds && s.delta == nil {
+		s.delta = cluster.NewDeltaState(s.k)
+	}
 	var relocErr error
 	s.compute(s.round, func() {
 		// The globals are fixed for the whole relocation loop, so one index
@@ -461,7 +489,17 @@ func (s *session) relocate(ctx context.Context) error {
 			ix = s.repIndex
 		}
 		for {
-			assign, err := cluster.RelocateCtxIndexed(ctx, cfg.Ctx, cfg.Local, s.global, cfg.Workers, ix)
+			var assign []int
+			var err error
+			if s.delta != nil {
+				// The delta state spans rounds AND the passes of this loop:
+				// pass 2 over unchanged globals short-circuits to the cached
+				// anchors (every document skipped), reproducing the fixpoint
+				// check at zero kernel cost.
+				assign, err = s.delta.Relocate(ctx, cfg.Ctx, cfg.Local, s.global, cfg.Workers, ix)
+			} else {
+				assign, err = cluster.RelocateCtxIndexed(ctx, cfg.Ctx, cfg.Local, s.global, cfg.Workers, ix)
+			}
 			if err != nil {
 				relocErr = fmt.Errorf("%w: %w", ErrCanceled, err)
 				return
@@ -477,10 +515,18 @@ func (s *session) relocate(ctx context.Context) error {
 				members[a] = append(members[a], cfg.Local[i])
 			}
 		}
+		var memberFps []uint64
+		if s.delta != nil {
+			memberFps = s.delta.MemberFingerprints(s.assign)
+		}
 		for j := 0; j < s.k; j++ {
 			s.sizes[j] = len(members[j])
 			if len(members[j]) == 0 {
 				s.newLocalRp[j] = nil
+				continue
+			}
+			if s.delta != nil {
+				s.newLocalRp[j] = s.delta.LocalRep(repCfg, j, memberFps[j], members[j])
 				continue
 			}
 			s.newLocalRp[j] = cluster.ComputeLocalRepresentative(repCfg, members[j])
@@ -525,12 +571,38 @@ func (s *session) exchangeLocals(ctx context.Context) error {
 		msg := LocalRepsMsg{From: id, Round: s.round, Flag: flag}
 		if s.changed {
 			reps := map[int]WeightedWireRep{}
+			var unchanged map[int]UnchangedRep
 			for _, j := range s.zs[h] {
-				if s.localRp[j] != nil {
-					reps[j] = WeightedWireRep{Rep: toWire(s.items(), s.localRp[j]), Weight: s.sizes[j]}
+				if s.localRp[j] == nil {
+					continue
 				}
+				w := toWire(s.items(), s.localRp[j])
+				if s.p.cfg.DeltaRounds {
+					if s.sentRepDigest == nil {
+						s.sentRepDigest = make([]map[int]uint64, s.m)
+					}
+					if s.sentRepDigest[h] == nil {
+						s.sentRepDigest[h] = map[int]uint64{}
+					}
+					dig := wireDigest(w)
+					if prev, ok := s.sentRepDigest[h][j]; ok && prev == dig {
+						// The receiver still holds this exact wire form: ship a
+						// digest marker instead of the full representative. The
+						// weight travels regardless — cluster sizes can change
+						// while the representative does not.
+						if unchanged == nil {
+							unchanged = map[int]UnchangedRep{}
+						}
+						unchanged[j] = UnchangedRep{Weight: s.sizes[j], Digest: dig}
+						s.p.cfg.Ctx.Counters.DeltaRepBytes.Add(16 + WireTxnSize(s.items(), w) - unchangedRepSize)
+						continue
+					}
+					s.sentRepDigest[h][j] = dig
+				}
+				reps[j] = WeightedWireRep{Rep: w, Weight: s.sizes[j]}
 			}
 			msg.Reps = reps
+			msg.Unchanged = unchanged
 		}
 		if err := s.send(s.round, h, msg); err != nil {
 			return err
@@ -551,7 +623,11 @@ func (s *session) exchangeLocals(ctx context.Context) error {
 		if msg.Flag == FlagContinue {
 			s.anyContinue = true
 		}
-		s.bySender[msg.From] = msg.Reps
+		reps, err := s.expandLocalReps(msg)
+		if err != nil {
+			return err
+		}
+		s.bySender[msg.From] = reps
 		received++
 	}
 	s.emit(EventRepsExchanged, s.round, 0)
@@ -563,6 +639,48 @@ func (s *session) exchangeLocals(ctx context.Context) error {
 	}
 	s.phase = PhaseRefineGlobals
 	return nil
+}
+
+// expandLocalReps resolves a received LocalRepsMsg into the full per-cluster
+// representative map, expanding delta-exchange markers from the per-sender
+// cache and refreshing that cache with every full representative received.
+// A marker with no matching cache entry is a protocol violation — the sender
+// believes it shipped a full representative earlier that this peer never
+// cached — and fails the session rather than risking a silently divergent
+// refinement.
+func (s *session) expandLocalReps(msg LocalRepsMsg) (map[int]WeightedWireRep, error) {
+	if !s.p.cfg.DeltaRounds {
+		return msg.Reps, nil
+	}
+	if s.recvRepCache == nil {
+		s.recvRepCache = make([]map[int]cachedWireRep, s.m)
+	}
+	cache := s.recvRepCache[msg.From]
+	if cache == nil {
+		cache = map[int]cachedWireRep{}
+		s.recvRepCache[msg.From] = cache
+	}
+	for j, wr := range msg.Reps {
+		cache[j] = cachedWireRep{wire: wr.Rep, dig: wireDigest(wr.Rep)}
+	}
+	if len(msg.Unchanged) == 0 {
+		return msg.Reps, nil
+	}
+	// In-process transports deliver the sender's own map object: merge into a
+	// fresh map, never into msg.Reps.
+	merged := make(map[int]WeightedWireRep, len(msg.Reps)+len(msg.Unchanged))
+	for j, wr := range msg.Reps {
+		merged[j] = wr
+	}
+	for j, u := range msg.Unchanged {
+		c, ok := cache[j]
+		if !ok || c.dig != u.Digest {
+			return nil, fmt.Errorf("%w: delta marker for cluster %d from peer %d has no matching cached representative",
+				ErrUnexpectedMessage, j, msg.From)
+		}
+		merged[j] = WeightedWireRep{Rep: c.wire, Weight: u.Weight}
+	}
+	return merged, nil
 }
 
 // refineGlobals is protocol phase 4: compute the global representatives for
@@ -589,7 +707,13 @@ func (s *session) refineGlobals(ctx context.Context) error {
 			if len(reps) == 0 {
 				continue // keep the previous global representative
 			}
-			if g := cluster.ComputeGlobalRepresentative(repCfg, reps); g != nil {
+			var g *txn.Transaction
+			if s.delta != nil {
+				g = s.delta.GlobalRep(repCfg, j, reps)
+			} else {
+				g = cluster.ComputeGlobalRepresentative(repCfg, reps)
+			}
+			if g != nil {
 				s.global[j] = g
 			}
 		}

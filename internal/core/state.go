@@ -157,6 +157,13 @@ func (s *session) install(st *SessionState) error {
 	s.anyContinue = false
 	s.pendGlobal = map[int][]GlobalRepsMsg{}
 	s.pendLocal = map[int][]LocalRepsMsg{}
+	// The delta-round caches anchor to the abandoned attempt's assignments and
+	// shipped representatives: drop them, so the first post-install round runs
+	// the full scans and ships full representatives on every link (relocate
+	// re-creates the delta state lazily, sized to the installed k).
+	s.delta = nil
+	s.sentRepDigest = nil
+	s.recvRepCache = nil
 	s.phase = PhaseBroadcastGlobals
 	return nil
 }

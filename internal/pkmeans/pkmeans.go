@@ -60,7 +60,14 @@ type Options struct {
 	// IndexReps enables the inverted representative index for the local
 	// assignment step (see core.Options.IndexReps); assignments are
 	// byte-identical either way.
-	IndexReps        bool
+	IndexReps bool
+	// DeltaRounds carries a cross-round delta cache through each peer's
+	// iteration (see core.Options.DeltaRounds): unchanged memberships reuse
+	// memoized representatives and documents whose cached best center provably
+	// still wins skip the assignment scan. Assignments are byte-identical
+	// either way. PK-means ships all k representatives all-to-all every round
+	// by design, so the delta representative exchange does not apply here.
+	DeltaRounds      bool
 	Transport        p2p.Transport
 	SerializeCompute bool
 	// SSEEpsilon is the stop threshold on the global SSE change.
@@ -124,9 +131,10 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 			transport: transport, sizer: sizer(corpus.Items),
 			k: opts.K, maxRounds: maxRounds, seed: opts.Seed + int64(i),
 			rule: opts.Rule, workers: opts.Workers, eps: eps, computeToken: computeToken,
-			indexReps: opts.IndexReps,
-			zi:        core.ResponsibilityPartition(opts.K, m)[i],
-			observer:  opts.Observer,
+			indexReps:   opts.IndexReps,
+			deltaRounds: opts.DeltaRounds,
+			zi:          core.ResponsibilityPartition(opts.K, m)[i],
+			observer:    opts.Observer,
 		}
 	}
 
@@ -175,6 +183,9 @@ func Run(ctx context.Context, cx *sim.Context, corpus *txn.Corpus, opts Options)
 			ScratchReuses:   cx.Counters.ScratchReuses.Load(),
 			IndexCandidates: cx.Counters.IndexCandidates.Load(),
 			IndexSkipped:    cx.Counters.IndexSkipped.Load(),
+			RepsReused:      cx.Counters.RepsReused.Load(),
+			DocsSkipped:     cx.Counters.DocsSkipped.Load(),
+			DeltaRepBytes:   cx.Counters.DeltaRepBytes.Load(),
 			Elapsed:         wall,
 		})
 	}
@@ -214,6 +225,8 @@ type peer struct {
 	computeToken chan struct{}
 	indexReps    bool
 	repIndex     *sim.RepIndex
+	deltaRounds  bool
+	delta        *cluster.DeltaState
 
 	observer core.Observer
 	t0       time.Time
@@ -238,6 +251,9 @@ func (p *peer) emit(kind core.EventKind, round int, objective float64) {
 		ScratchReuses:   p.cx.Counters.ScratchReuses.Load(),
 		IndexCandidates: p.cx.Counters.IndexCandidates.Load(),
 		IndexSkipped:    p.cx.Counters.IndexSkipped.Load(),
+		RepsReused:      p.cx.Counters.RepsReused.Load(),
+		DocsSkipped:     p.cx.Counters.DocsSkipped.Load(),
+		DeltaRepBytes:   p.cx.Counters.DeltaRepBytes.Load(),
 		Elapsed:         time.Since(p.t0),
 	})
 }
@@ -324,19 +340,35 @@ func (p *peer) run(ctx context.Context) error {
 				p.repIndex.Build(p.cx, p.global)
 				ix = p.repIndex
 			}
-			p.assign, _ = cluster.RelocateCtxIndexed(nil, p.cx, p.local, p.global, p.workers, ix)
+			if p.deltaRounds && p.delta == nil {
+				p.delta = cluster.NewDeltaState(p.k)
+			}
+			if p.delta != nil {
+				p.assign, _ = p.delta.Relocate(nil, p.cx, p.local, p.global, p.workers, ix)
+			} else {
+				p.assign, _ = cluster.RelocateCtxIndexed(nil, p.cx, p.local, p.global, p.workers, ix)
+			}
 			members := make([][]*txn.Transaction, p.k)
 			for i, a := range p.assign {
 				if a >= 0 {
 					members[a] = append(members[a], p.local[i])
 				}
 			}
+			var memberFps []uint64
+			if p.delta != nil {
+				memberFps = p.delta.MemberFingerprints(p.assign)
+			}
 			localReps = map[int]core.WeightedWireRep{}
 			for j := 0; j < p.k; j++ {
 				if len(members[j]) == 0 {
 					continue
 				}
-				rep := cluster.ComputeLocalRepresentative(repCfg, members[j])
+				var rep *txn.Transaction
+				if p.delta != nil {
+					rep = p.delta.LocalRep(repCfg, j, memberFps[j], members[j])
+				} else {
+					rep = cluster.ComputeLocalRepresentative(repCfg, members[j])
+				}
 				if rep != nil {
 					localReps[j] = core.WeightedWireRep{Rep: wireOf(rep), Weight: len(members[j])}
 				}

@@ -28,11 +28,18 @@ func TestIncrementalEquivalence(t *testing.T) {
 		if mode != xmlclust.RepIndexOff {
 			name = "index-on"
 		}
-		t.Run(name, func(t *testing.T) { testIncrementalEquivalence(t, mode) })
+		t.Run(name, func(t *testing.T) { testIncrementalEquivalence(t, mode, xmlclust.DeltaRoundsAuto) })
 	}
+	// Cross-mode delta gate: the service refreshes with the cross-round
+	// delta engine (the default), while the from-scratch reference runs
+	// with DeltaRoundsOff — recomputing every round. The byte-identity
+	// asserts below then prove the delta engine changes nothing observable.
+	t.Run("delta-off-reference", func(t *testing.T) {
+		testIncrementalEquivalence(t, xmlclust.RepIndexOff, xmlclust.DeltaRoundsOff)
+	})
 }
 
-func testIncrementalEquivalence(t *testing.T, mode xmlclust.RepIndexMode) {
+func testIncrementalEquivalence(t *testing.T, mode xmlclust.RepIndexMode, refDelta xmlclust.DeltaRoundsMode) {
 	cfg := serveConfig()
 	cfg.DriftThreshold = -1 // any drift at all refreshes on the next round
 	cfg.IndexReps = mode
@@ -115,7 +122,7 @@ func testIncrementalEquivalence(t *testing.T, mode xmlclust.RepIndexMode) {
 	ref, err := eng.Cluster(ctx, xmlclust.ClusterOptions{
 		K: cfg.K, F: cfg.F, Gamma: cfg.Gamma,
 		Seed: cfg.Seed, Workers: cfg.Workers, MaxRounds: cfg.MaxRounds,
-		IndexReps: mode,
+		IndexReps: mode, DeltaRounds: refDelta,
 	})
 	if err != nil {
 		t.Fatal(err)

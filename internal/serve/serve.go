@@ -76,6 +76,11 @@ type Config struct {
 	// Each refresh prebuilds the index once against the new representative
 	// set; assignments are byte-identical in every mode.
 	IndexReps xmlclust.RepIndexMode
+	// DeltaRounds selects the cross-round delta engine for every refresh run
+	// (default DeltaRoundsAuto = on): late refresh rounds reuse memoized
+	// representatives and skip provably settled documents. Assignments and
+	// representatives are byte-identical in every mode.
+	DeltaRounds xmlclust.DeltaRoundsMode
 	// Events, when non-nil, receives the clustering progress events of every
 	// refresh run (see xmlclust.ClusterOptions.Events).
 	Events func(xmlclust.Event)
@@ -139,6 +144,14 @@ type Stats struct {
 	IndexedReps     int   `json:"indexed_reps"`
 	IndexCandidates int64 `json:"index_candidates"`
 	IndexSkipped    int64 `json:"index_skipped"`
+	// RepsReused / DocsSkipped / DeltaRepBytes total the delta-round counters
+	// over every refresh run: representatives reused verbatim from the
+	// cross-round memo, documents decided from their cached relocation anchor
+	// with zero kernel evaluations, and modeled wire bytes saved by
+	// unchanged-representative markers (zero for single-peer refreshes).
+	RepsReused    int64 `json:"reps_reused"`
+	DocsSkipped   int64 `json:"docs_skipped"`
+	DeltaRepBytes int64 `json:"delta_rep_bytes"`
 }
 
 // RoundStats reports one maintenance round.
@@ -214,6 +227,9 @@ type Service struct {
 	reuses     int64
 	idxCand    int64
 	idxSkip    int64
+	repsReused int64
+	docsSkip   int64
+	deltaBytes int64
 }
 
 // NewService validates the configuration and returns an empty service
@@ -234,7 +250,7 @@ func (cfg Config) clusterOptions() xmlclust.ClusterOptions {
 	return xmlclust.ClusterOptions{
 		K: cfg.K, F: cfg.F, Gamma: cfg.Gamma,
 		Seed: cfg.Seed, Workers: cfg.Workers, MaxRounds: cfg.MaxRounds,
-		IndexReps: cfg.IndexReps, Events: cfg.Events,
+		IndexReps: cfg.IndexReps, DeltaRounds: cfg.DeltaRounds, Events: cfg.Events,
 	}
 }
 
@@ -441,6 +457,7 @@ func (s *Service) Stats() Stats {
 		PrunedRows: s.pruned, ScratchReuses: s.reuses,
 		IndexEntries: s.snap.idx.Entries(), IndexedReps: s.snap.idx.Reps(),
 		IndexCandidates: s.idxCand, IndexSkipped: s.idxSkip,
+		RepsReused: s.repsReused, DocsSkipped: s.docsSkip, DeltaRepBytes: s.deltaBytes,
 		ClusterSizes: make([]int, s.cfg.K),
 	}
 	for id, rec := range s.docs {
@@ -606,6 +623,9 @@ func (s *Service) refreshLocked(ctx context.Context) (int, error) {
 		s.reuses += res.ScratchReuses
 		s.idxCand += res.IndexCandidates
 		s.idxSkip += res.IndexSkipped
+		s.repsReused += res.RepsReused
+		s.docsSkip += res.DocsSkipped
+		s.deltaBytes += res.DeltaRepBytes
 	}
 
 	// Prebuild the representative index once per refresh: every classify

@@ -89,6 +89,21 @@ type Counters struct {
 	// of the relocate bench.
 	IndexCandidates atomic.Int64
 	IndexSkipped    atomic.Int64
+	// RepsReused counts cluster representatives reused verbatim from the
+	// delta-round memo because the cluster's membership (and the context)
+	// was unchanged since the representative was last refined — each reuse
+	// skips the full rank + generateTreeTuple objective loop.
+	RepsReused atomic.Int64
+	// DocsSkipped counts documents whose relocation was decided entirely
+	// from the previous round's cached (cluster, score) without a single
+	// kernel evaluation: every representative that could beat the cached
+	// winner was unchanged since that score was recorded.
+	DocsSkipped atomic.Int64
+	// DeltaRepBytes counts exchange bytes saved by the delta representative
+	// exchange: for every local representative shipped as an "unchanged"
+	// digest marker instead of a re-flattened wire transaction, the full
+	// wire size minus the marker size is added here.
+	DeltaRepBytes atomic.Int64
 }
 
 // Context evaluates similarities for one corpus under fixed Params.

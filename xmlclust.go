@@ -278,6 +278,30 @@ const (
 // enabled reports whether the mode asks for the index.
 func (m RepIndexMode) enabled() bool { return m != RepIndexOff }
 
+// DeltaRoundsMode selects whether runs carry the convergence-aware delta
+// caches across rounds: unchanged cluster memberships reuse their memoized
+// representatives, documents whose cached best cluster provably still wins
+// skip the relocation scan, and (CXK-means) unchanged local representatives
+// travel between peers as digest markers instead of full wire transactions.
+// The delta engine never changes a single assignment or representative — the
+// only observable differences are wall time, wire bytes and the
+// RepsReused/DocsSkipped/DeltaRepBytes counters.
+type DeltaRoundsMode int
+
+const (
+	// DeltaRoundsAuto (the zero value) enables the delta engine.
+	DeltaRoundsAuto DeltaRoundsMode = iota
+	// DeltaRoundsOn behaves like DeltaRoundsAuto; it exists to state the
+	// intent explicitly.
+	DeltaRoundsOn
+	// DeltaRoundsOff recomputes every round from scratch and ships every
+	// representative in full.
+	DeltaRoundsOff
+)
+
+// enabled reports whether the mode asks for the delta engine.
+func (m DeltaRoundsMode) enabled() bool { return m != DeltaRoundsOff }
+
 // ClusterOptions configures a clustering run.
 type ClusterOptions struct {
 	// K is the number of clusters (required).
@@ -305,6 +329,10 @@ type ClusterOptions struct {
 	// relocation scans (default RepIndexAuto = on). Assignments are
 	// byte-identical in every mode; see RepIndexMode.
 	IndexReps RepIndexMode
+	// DeltaRounds selects the cross-round delta engine (default
+	// DeltaRoundsAuto = on). Assignments and representatives are
+	// byte-identical in every mode; see DeltaRoundsMode.
+	DeltaRounds DeltaRoundsMode
 	// Algorithm selects CXK-means (default) or the PK-means baseline.
 	Algorithm Algorithm
 	// UseTCP runs the peers over loopback TCP instead of in-process
@@ -366,6 +394,16 @@ type Result struct {
 	// PrunedRows applies.
 	IndexCandidates int64
 	IndexSkipped    int64
+	// RepsReused, DocsSkipped and DeltaRepBytes are the delta-round deltas of
+	// this job: representatives returned verbatim from the cross-round memo
+	// (local and global), documents whose relocation was decided from the
+	// cached anchor with zero kernel evaluations, and modeled wire bytes
+	// saved by shipping unchanged-representative digest markers. All zero
+	// when DeltaRounds is DeltaRoundsOff. The same concurrency attribution
+	// caveat as PrunedRows applies.
+	RepsReused    int64
+	DocsSkipped   int64
+	DeltaRepBytes int64
 }
 
 // Cluster runs one clustering job on a throwaway Engine and blocks until
@@ -424,6 +462,12 @@ type DistributedOptions struct {
 	// process — it changes no assignment and no wire message, so peers may
 	// mix modes freely.
 	IndexReps RepIndexMode
+	// DeltaRounds selects the cross-round delta engine (default
+	// DeltaRoundsAuto = on). Unlike IndexReps it changes the wire protocol
+	// (unchanged representatives travel as digest markers), so every process
+	// of a deployment must agree — a mismatch fails fast at startup with a
+	// configuration error instead of computing silently wrong refinements.
+	DeltaRounds DeltaRoundsMode
 	// MaxRounds bounds the collaborative loop (0 = default; negative values
 	// are rejected with an *OptionsError).
 	MaxRounds int
@@ -477,6 +521,10 @@ type DistributedOptions struct {
 	// checkpoints written/restored, bytes rebalanced, current epoch,
 	// last-heartbeat age. Requires the fabric (CheckpointDir).
 	DebugAddr string
+	// DebugPprof additionally mounts the net/http/pprof handlers on the
+	// DebugAddr server (/debug/pprof/...), so a live round loop can be
+	// CPU/heap-profiled without redeploying. Requires DebugAddr.
+	DebugPprof bool
 	// FailpointRound is a chaos-engineering failpoint for recovery drills:
 	// when > 0, the process kills itself (SIGKILL, uncatchable — exactly
 	// like an external kill) on reaching this round boundary, before the
